@@ -1,0 +1,40 @@
+# Nebula reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test vet bench sweep examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus kernel/ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate every table and figure (quick profile).
+sweep:
+	$(GO) run ./cmd/nebula-sim -exp all -v
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videoanalytics
+	$(GO) run ./examples/testbed
+	$(GO) run ./examples/submodel_explorer
+	$(GO) run ./examples/heterogeneity
+
+# Artifacts required by the reproduction protocol.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,70 @@
+// Command nebula-sim runs the paper's experiments on the simulation
+// platform and prints each table/figure as text.
+//
+// Usage:
+//
+//	nebula-sim -list
+//	nebula-sim -exp table1
+//	nebula-sim -exp all -devices 60 -rounds 10 -scale paper -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fed"
+)
+
+func main() {
+	opt := experiments.Default()
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.String("scale", "quick", "experiment scale: quick | paper")
+	)
+	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "random seed")
+	flag.IntVar(&opt.Devices, "devices", opt.Devices, "fleet size")
+	flag.IntVar(&opt.ProxyPerClass, "proxy", opt.ProxyPerClass, "proxy samples per class for cloud pre-training")
+	flag.IntVar(&opt.Rounds, "rounds", opt.Rounds, "communication rounds per adaptation step")
+	flag.IntVar(&opt.DevicesPerRound, "per-round", opt.DevicesPerRound, "devices sampled per round")
+	flag.IntVar(&opt.LocalEpochs, "local-epochs", opt.LocalEpochs, "local epochs per round")
+	flag.IntVar(&opt.FinetuneEpochs, "finetune-epochs", opt.FinetuneEpochs, "on-device fine-tuning epochs")
+	flag.IntVar(&opt.PretrainEpochs, "pretrain-epochs", opt.PretrainEpochs, "cloud pre-training epochs")
+	flag.IntVar(&opt.AdaptSteps, "steps", opt.AdaptSteps, "adaptation steps for fig10/fig11")
+	flag.IntVar(&opt.RandomSubModels, "submodels", opt.RandomSubModels, "random sub-models sampled for fig12")
+	flag.BoolVar(&opt.Verbose, "v", false, "print progress lines")
+	flag.BoolVar(&opt.Points, "points", false, "also dump figures' raw data columns")
+	flag.Parse()
+
+	if *list {
+		experiments.WriteIndex(os.Stdout)
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "nebula-sim: -exp is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *scale {
+	case "quick":
+		opt.Scale = fed.ScaleQuick
+	case "paper":
+		opt.Scale = fed.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "nebula-sim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	opt.Out = os.Stdout
+
+	start := time.Now()
+	if err := experiments.Run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-sim:", err)
+		os.Exit(1)
+	}
+	if opt.Verbose {
+		fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,62 @@
+// Command nebula-trace summarizes a structured adaptation log (JSON lines
+// produced by internal/trace): rounds, per-way traffic, simulated time, and
+// the accuracy trajectory as a sparkline.
+//
+// Usage:
+//
+//	nebula-trace run.jsonl
+//	... | nebula-trace -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: nebula-trace <file.jsonl | ->")
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.Read(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-trace:", err)
+		os.Exit(1)
+	}
+	s := trace.Summarize(events)
+	fmt.Printf("events:       %d\n", len(events))
+	fmt.Printf("rounds:       %d\n", s.Rounds)
+	fmt.Printf("traffic:      ↓%s ↑%s\n", metrics.FmtBytes(s.BytesDown), metrics.FmtBytes(s.BytesUp))
+	fmt.Printf("sim time:     %s (slowest client per round)\n", metrics.FmtDur(s.SimTime))
+	if len(s.Accuracy) > 0 {
+		series := &metrics.Series{Name: "accuracy"}
+		for i, a := range s.Accuracy {
+			series.Add(float64(i), a)
+		}
+		fmt.Printf("accuracy:     %s  first=%.4f last=%.4f\n", series.Sparkline(), s.Accuracy[0], series.Last())
+	}
+	// Per-client participation histogram.
+	perClient := map[int]int{}
+	for _, e := range events {
+		if e.Kind == trace.KindClientUpdate {
+			perClient[e.Client]++
+		}
+	}
+	if len(perClient) > 0 {
+		fmt.Printf("participants: %d distinct devices\n", len(perClient))
+	}
+}

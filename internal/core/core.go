@@ -1,0 +1,77 @@
+// Package core is the top-level Nebula API: it ties the offline on-cloud
+// stage (block-level modularization, module-selector construction, end-to-end
+// + ability-enhancing training; paper Section 4) to the online edge-cloud
+// collaborative adaptation stage (personalized sub-model derivation and
+// module-wise aggregation; Section 5) behind one façade that the examples
+// and command-line tools drive.
+//
+// Typical use:
+//
+//	task := fed.HARTask(seed, fed.ScaleQuick)
+//	sys := core.NewSystem(task, fed.DefaultConfig(), seed)
+//	sys.OfflineTrain(proxyDataset)
+//	clients := fed.NewClients(rng, fleet)
+//	sys.AdaptStep(clients)            // one edge-cloud adaptation step
+//	acc := sys.Accuracy(clients)      // mean local-task accuracy
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/modular"
+	"repro/internal/tensor"
+)
+
+// System is a running Nebula deployment: the modularized cloud model plus
+// the online adaptation machinery.
+type System struct {
+	Task     *fed.Task
+	Strategy *fed.Nebula
+	rng      *tensor.RNG
+}
+
+// NewSystem creates a Nebula deployment for a task. The seed makes the whole
+// lifecycle (initialization, training, client sampling) reproducible.
+func NewSystem(task *fed.Task, cfg fed.Config, seed int64) *System {
+	return &System{
+		Task:     task,
+		Strategy: fed.NewNebula(task, cfg),
+		rng:      tensor.NewRNG(seed),
+	}
+}
+
+// OfflineTrain runs the on-cloud prototyping and training stage on proxy
+// data: end-to-end training with load balancing followed by module
+// ability-enhancing fine-tuning.
+func (s *System) OfflineTrain(proxy *data.Dataset) {
+	s.Strategy.Pretrain(s.rng, proxy)
+}
+
+// AdaptStep runs one online adaptation step over the fleet: sampled devices
+// derive personalized sub-models, train them on fresh local data, and the
+// cloud aggregates the updates module-wise.
+func (s *System) AdaptStep(clients []*fed.Client) {
+	s.Strategy.Adapt(s.rng, clients)
+}
+
+// Accuracy returns the mean local-task accuracy over the clients' current
+// serving models.
+func (s *System) Accuracy(clients []*fed.Client) float64 {
+	return s.Strategy.LocalAccuracy(clients)
+}
+
+// Costs returns communication and simulated-time accounting.
+func (s *System) Costs() fed.Costs { return s.Strategy.Costs() }
+
+// CloudModel exposes the modularized cloud model (e.g. to serve it over
+// edgenet or inspect module importance).
+func (s *System) CloudModel() *modular.Model { return s.Strategy.Model }
+
+// DeriveFor derives and extracts a personalized sub-model for an arbitrary
+// probe batch and resource budget — the single-device entry point used by
+// tools and examples.
+func (s *System) DeriveFor(probe *tensor.Tensor, budget modular.Budget) *modular.SubModel {
+	imp := s.CloudModel().Importance(probe)
+	active := s.CloudModel().Derive(imp, budget, false)
+	return s.CloudModel().Extract(active)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/modular"
+	"repro/internal/tensor"
+)
+
+func TestSystemLifecycle(t *testing.T) {
+	const seed = 5
+	task := fed.HARTask(seed, fed.ScaleQuick)
+	cfg := fed.DefaultConfig()
+	cfg.Rounds = 1
+	cfg.DevicesPerRound = 4
+	cfg.TestPerDevice = 30
+	sys := NewSystem(task, cfg, seed)
+
+	rng := tensor.NewRNG(seed)
+	proxy := data.MakeBalancedDataset(rng, task.Gen, data.DefaultEnv(), 20)
+	sys.OfflineTrain(proxy)
+	if sys.CloudModel() == nil {
+		t.Fatal("cloud model missing after offline training")
+	}
+
+	fleet := data.NewFleet(rng, task.Gen, data.PartitionConfig{
+		NumDevices: 6, ClassesPerDevice: 2, MinVolume: 40, MaxVolume: 60,
+	})
+	clients := fed.NewClients(rng, fleet)
+	before := sys.Accuracy(clients)
+	for _, c := range clients {
+		c.Dev.Shift(0.5)
+	}
+	sys.AdaptStep(clients)
+	after := sys.Accuracy(clients)
+	if after < 0.2 {
+		t.Fatalf("accuracy %.3f implausibly low after adaptation", after)
+	}
+	_ = before
+	costs := sys.Costs()
+	if costs.BytesDown == 0 || costs.Rounds == 0 {
+		t.Fatalf("costs not tracked: %+v", costs)
+	}
+}
+
+func TestDeriveForRespectsBudget(t *testing.T) {
+	const seed = 6
+	task := fed.HARTask(seed, fed.ScaleQuick)
+	sys := NewSystem(task, fed.DefaultConfig(), seed)
+	rng := tensor.NewRNG(seed)
+	sys.OfflineTrain(data.MakeBalancedDataset(rng, task.Gen, data.DefaultEnv(), 10))
+
+	probe := tensor.New(8, 64)
+	rng.FillNormal(probe, 0, 1)
+	model := sys.CloudModel()
+	stem, head, mods := model.ModuleCosts()
+	var pool float64
+	for _, layer := range mods {
+		for _, mc := range layer {
+			pool += float64(mc.Bytes)
+		}
+	}
+	tight := modular.Budget{
+		CommBytes: float64(stem.Bytes+head.Bytes) + 0.2*pool,
+		FwdFLOPs:  1e15, MemElems: 1e15,
+	}
+	loose := modular.Budget{CommBytes: 1e15, FwdFLOPs: 1e15, MemElems: 1e15}
+	small := sys.DeriveFor(probe, tight)
+	large := sys.DeriveFor(probe, loose)
+	if small.NumModules() >= large.NumModules() {
+		t.Fatalf("tight budget (%d modules) should yield fewer than loose (%d)",
+			small.NumModules(), large.NumModules())
+	}
+}

@@ -1,0 +1,89 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLoadCSVComma(t *testing.T) {
+	in := "1.0,2.0,0\n# comment\n3.5,-1,1\n\n0,0,1\n"
+	ds, err := LoadCSV(strings.NewReader(in), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.SampleLen() != 2 || ds.NumClasses != 2 {
+		t.Fatalf("loaded %d samples, %d features, %d classes", ds.Len(), ds.SampleLen(), ds.NumClasses)
+	}
+	if ds.X[1][0] != 3.5 || ds.X[1][1] != -1 || ds.Y[1] != 1 {
+		t.Fatalf("row 1 wrong: %v %d", ds.X[1], ds.Y[1])
+	}
+}
+
+func TestLoadCSVWhitespace(t *testing.T) {
+	in := "0.5 1.5 2.5 0\n1 2 3 1\n"
+	ds, err := LoadCSV(strings.NewReader(in), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.SampleLen() != 3 || ds.NumClasses != 2 {
+		t.Fatalf("auto-detect failed: %d features, %d classes", ds.SampleLen(), ds.NumClasses)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1.0\n",            // too few fields
+		"1.0,notanint\n",   // bad label
+		"1.0,2.0,5\n",      // label out of range (numClasses 2)
+		"1,2,0\n1,2,3,1\n", // inconsistent width
+		"abc,1,0\n",        // bad feature
+	}
+	for i, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in), 0, 2); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	gen := NewSynthHAR(2)
+	orig := MakeBalancedDataset(rng, gen, DefaultEnv(), 5)
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, 0, orig.NumClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || back.SampleLen() != orig.SampleLen() {
+		t.Fatalf("round trip shape: %d×%d vs %d×%d", back.Len(), back.SampleLen(), orig.Len(), orig.SampleLen())
+	}
+	for i := range orig.X {
+		if back.Y[i] != orig.Y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := range orig.X[i] {
+			d := float64(back.X[i][j] - orig.X[i][j])
+			if d > 1e-5 || d < -1e-5 {
+				t.Fatalf("value (%d,%d) drifted: %v vs %v", i, j, back.X[i][j], orig.X[i][j])
+			}
+		}
+	}
+}
+
+func TestLoadCSVInfersClassCount(t *testing.T) {
+	in := "1,0\n2,4\n3,2\n"
+	ds, err := LoadCSV(strings.NewReader(in), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumClasses != 5 {
+		t.Fatalf("inferred %d classes, want 5", ds.NumClasses)
+	}
+}

@@ -1,0 +1,132 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSampleDirichletSimplex(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for _, alpha := range []float64{0.1, 0.5, 1, 5} {
+		for trial := 0; trial < 20; trial++ {
+			p := SampleDirichlet(rng, 8, alpha)
+			var sum float64
+			for _, v := range p {
+				if v < 0 {
+					t.Fatalf("alpha %v: negative component %v", alpha, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("alpha %v: sum %v", alpha, sum)
+			}
+		}
+	}
+}
+
+func TestDirichletConcentrationEffect(t *testing.T) {
+	// Small alpha → concentrated draws (high max component); large alpha →
+	// near-uniform. Compare average max component.
+	rng := tensor.NewRNG(2)
+	meanMax := func(alpha float64) float64 {
+		var s float64
+		const trials = 150
+		for i := 0; i < trials; i++ {
+			p := SampleDirichlet(rng, 10, alpha)
+			m := 0.0
+			for _, v := range p {
+				if v > m {
+					m = v
+				}
+			}
+			s += m
+		}
+		return s / trials
+	}
+	sharp := meanMax(0.1)
+	flat := meanMax(10)
+	if sharp < flat+0.2 {
+		t.Fatalf("alpha=0.1 mean-max %v should far exceed alpha=10's %v", sharp, flat)
+	}
+	if flat > 0.3 {
+		t.Fatalf("alpha=10 should be near uniform, mean-max %v", flat)
+	}
+}
+
+func TestSampleGammaMoments(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for _, alpha := range []float64{0.5, 2, 7} {
+		var sum, sq float64
+		const n = 4000
+		for i := 0; i < n; i++ {
+			g := sampleGamma(rng, alpha)
+			if g < 0 {
+				t.Fatalf("gamma sample negative: %v", g)
+			}
+			sum += g
+			sq += g * g
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if math.Abs(mean-alpha) > 0.15*alpha+0.05 {
+			t.Fatalf("Gamma(%v) mean %v, want ≈%v", alpha, mean, alpha)
+		}
+		if math.Abs(variance-alpha) > 0.3*alpha+0.1 {
+			t.Fatalf("Gamma(%v) variance %v, want ≈%v", alpha, variance, alpha)
+		}
+	}
+}
+
+func TestNewDirichletFleet(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	gen := NewSynthImage(5, 10, 8)
+	fleet := NewDirichletFleet(rng, gen, 20, 0.3, 40, 80)
+	if len(fleet) != 20 {
+		t.Fatalf("fleet size %d", len(fleet))
+	}
+	distinctSkew := 0
+	for _, d := range fleet {
+		if d.Train.Len() < 40 || d.Train.Len() > 80 {
+			t.Fatalf("device %d volume %d", d.ID, d.Train.Len())
+		}
+		if len(d.Classes) == 0 {
+			t.Fatalf("device %d holds no classes", d.ID)
+		}
+		h := d.Train.ClassHistogram()
+		max, total := 0, 0
+		for _, n := range h {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		if total != d.Train.Len() {
+			t.Fatal("histogram broken")
+		}
+		// At alpha 0.3 most devices should be visibly skewed.
+		if float64(max)/float64(total) > 0.5 {
+			distinctSkew++
+		}
+	}
+	if distinctSkew < 5 {
+		t.Fatalf("alpha=0.3 fleet not skewed enough: %d/20 devices dominated by one class", distinctSkew)
+	}
+	// Devices must differ from each other (personal mixtures).
+	if equalInts(fleet[0].Classes, fleet[1].Classes) && equalInts(fleet[1].Classes, fleet[2].Classes) {
+		t.Fatal("all devices share one class set — mixtures not personalized")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,65 @@
+// Package device simulates heterogeneous edge hardware: a catalogue of
+// device classes with compute/memory/bandwidth envelopes (standing in for
+// the paper's AI-Benchmark statistics and Jetson Nano / Raspberry Pi
+// testbed), a co-running-process contention model, and a runtime monitor
+// that produces the time-varying resource profiles the online adaptation
+// stage consumes.
+package device
+
+import (
+	"repro/internal/tensor"
+)
+
+// Class describes one hardware tier.
+type Class struct {
+	Name string
+	// ComputeFLOPS is sustained single-precision throughput available to the
+	// learning workload (not peak silicon).
+	ComputeFLOPS float64
+	// MemoryBytes is RAM available to the workload.
+	MemoryBytes int64
+	// BandwidthBps is uplink/downlink network bandwidth in bits per second.
+	BandwidthBps float64
+	// Mobile marks phone-class SoCs (for the Fig 2 mobile-vs-IoT split).
+	Mobile bool
+	// Weight is the sampling weight in the fleet population.
+	Weight float64
+}
+
+// Catalogue is the device population model. Figures 2(a)/(b) of the paper
+// plot RAM capacity and MobileNet inference-latency distributions from AI
+// Benchmark; these tiers are chosen to reproduce those distributions' shape:
+// RAM mass between 2–8 GB, latency spread over three orders of magnitude
+// between flagship SoCs and IoT boards.
+var Catalogue = []Class{
+	{Name: "flagship-soc", ComputeFLOPS: 1.2e12, MemoryBytes: 12 << 30, BandwidthBps: 200e6, Mobile: true, Weight: 0.08},
+	{Name: "high-soc", ComputeFLOPS: 6e11, MemoryBytes: 8 << 30, BandwidthBps: 120e6, Mobile: true, Weight: 0.17},
+	{Name: "mid-soc", ComputeFLOPS: 2.5e11, MemoryBytes: 6 << 30, BandwidthBps: 80e6, Mobile: true, Weight: 0.30},
+	{Name: "entry-soc", ComputeFLOPS: 8e10, MemoryBytes: 4 << 30, BandwidthBps: 40e6, Mobile: true, Weight: 0.20},
+	{Name: "low-soc", ComputeFLOPS: 3e10, MemoryBytes: 2 << 30, BandwidthBps: 20e6, Mobile: true, Weight: 0.10},
+	{Name: "jetson-nano", ComputeFLOPS: 2.3e11, MemoryBytes: 4 << 30, BandwidthBps: 50e6, Mobile: false, Weight: 0.08},
+	{Name: "raspberry-pi-4b", ComputeFLOPS: 1.35e10, MemoryBytes: 2 << 30, BandwidthBps: 40e6, Mobile: false, Weight: 0.07},
+}
+
+// ClassByName returns the catalogue entry with the given name.
+func ClassByName(name string) Class {
+	for _, c := range Catalogue {
+		if c.Name == name {
+			return c
+		}
+	}
+	panic("device: unknown class " + name)
+}
+
+// SampleClass draws a device class according to the population weights.
+func SampleClass(rng *tensor.RNG) Class {
+	w := make([]float64, len(Catalogue))
+	for i, c := range Catalogue {
+		w[i] = c.Weight
+	}
+	return Catalogue[rng.Categorical(w)]
+}
+
+// JetsonNano and RaspberryPi are the two testbed tiers the paper deploys on.
+func JetsonNano() Class  { return ClassByName("jetson-nano") }
+func RaspberryPi() Class { return ClassByName("raspberry-pi-4b") }

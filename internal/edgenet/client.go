@@ -1,0 +1,120 @@
+package edgenet
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/modular"
+	"repro/internal/nn"
+)
+
+// EdgeClient is the device side of the testbed protocol. It holds a local
+// model skeleton (built from the shared task seed, so architectures agree
+// with the cloud) whose selector is refreshed by Hello and from which
+// received sub-models are instantiated.
+type EdgeClient struct {
+	DeviceID int
+	Skeleton *modular.Model
+	// Quantize requests/sends 8-bit-quantized parameter payloads.
+	Quantize bool
+	codec    *Codec
+	closer   io.Closer
+}
+
+// Dial connects to the cloud server over TCP.
+func Dial(addr string, deviceID int, skeleton *modular.Model) (*EdgeClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("edgenet: dial %s: %w", addr, err)
+	}
+	return &EdgeClient{DeviceID: deviceID, Skeleton: skeleton, codec: NewCodec(conn), closer: conn}, nil
+}
+
+// NewPipeClient wraps an in-process stream (e.g. net.Pipe) — used by tests
+// and the simulation harness.
+func NewPipeClient(rw io.ReadWriter, deviceID int, skeleton *modular.Model) *EdgeClient {
+	c := &EdgeClient{DeviceID: deviceID, Skeleton: skeleton, codec: NewCodec(rw)}
+	if cl, ok := rw.(io.Closer); ok {
+		c.closer = cl
+	}
+	return c
+}
+
+// Close tears down the connection.
+func (c *EdgeClient) Close() error {
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// Traffic returns bytes received and sent by this client.
+func (c *EdgeClient) Traffic() (in, out int64) { return c.codec.Traffic() }
+
+// Hello fetches the current unified selector into the local skeleton. Run
+// once after connecting; the device then scores module importance locally.
+func (c *EdgeClient) Hello() error {
+	resp, err := c.codec.Call(&Request{Kind: KindHello, DeviceID: c.DeviceID})
+	if err != nil {
+		return err
+	}
+	c.Skeleton.Selector.LoadVector(resp.Selector)
+	return nil
+}
+
+// FetchSubModel asks the cloud to derive a personalized sub-model for the
+// given importance/budget and instantiates it locally.
+func (c *EdgeClient) FetchSubModel(importance [][]float64, budget modular.Budget) (*modular.SubModel, error) {
+	resp, err := c.codec.Call(&Request{
+		Kind:       KindGetSubModel,
+		DeviceID:   c.DeviceID,
+		Importance: importance,
+		Budget:     FromBudget(budget),
+		Quant:      c.Quantize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sub := c.Skeleton.Extract(resp.Active)
+	vec := resp.Backbone
+	if len(resp.BackboneQ) > 0 {
+		vec = nn.DequantizeChunks(resp.BackboneQ)
+	}
+	sub.LoadBackboneVector(vec)
+	return sub, nil
+}
+
+// PushUpdate uploads a locally trained sub-model with its importance scores
+// and aggregation weight.
+func (c *EdgeClient) PushUpdate(sub *modular.SubModel, importance [][]float64, weight float64) error {
+	req := &Request{
+		Kind:       KindPushUpdate,
+		DeviceID:   c.DeviceID,
+		Active:     sub.Mapping,
+		Importance: importance,
+		Weight:     weight,
+	}
+	if c.Quantize {
+		req.BackboneQ = nn.QuantizeChunks(sub.BackboneVector(), 1024)
+	} else {
+		req.Backbone = sub.BackboneVector()
+	}
+	_, err := c.codec.Call(req)
+	return err
+}
+
+// Stats fetches server counters.
+func (c *EdgeClient) Stats() (Stats, error) {
+	resp, err := c.codec.Call(&Request{Kind: KindStats, DeviceID: c.DeviceID})
+	if err != nil {
+		return Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Shutdown asks the server connection to terminate after replying.
+func (c *EdgeClient) Shutdown() error {
+	_, err := c.codec.Call(&Request{Kind: KindShutdown, DeviceID: c.DeviceID})
+	return err
+}

@@ -1,0 +1,159 @@
+// Package edgenet implements the edge-cloud communication substrate: a
+// gob-over-TCP protocol between a cloud server holding the modularized model
+// and edge clients that request personalized sub-models and push back local
+// updates. It replaces the paper's WiFi-LAN testbed; all traffic is counted
+// byte-accurately for the communication-cost experiments.
+//
+// Architecture travels as the per-layer active-module index sets; both sides
+// build identical model skeletons from the shared task seed, so only
+// parameter vectors cross the wire.
+package edgenet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/modular"
+	"repro/internal/nn"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind int
+
+const (
+	// KindHello introduces a device and requests the selector package.
+	KindHello MsgKind = iota + 1
+	// KindGetSubModel requests a personalized sub-model.
+	KindGetSubModel
+	// KindPushUpdate uploads a locally trained sub-model.
+	KindPushUpdate
+	// KindStats requests server-side counters.
+	KindStats
+	// KindShutdown asks the server to stop accepting work.
+	KindShutdown
+)
+
+// Request is the client→cloud envelope.
+type Request struct {
+	Kind     MsgKind
+	DeviceID int
+
+	// GetSubModel fields.
+	Importance [][]float64
+	Budget     BudgetMsg
+	// Quant asks the cloud to 8-bit-quantize the sub-model payload
+	// (~4× smaller transfers at bounded reconstruction error).
+	Quant bool
+
+	// PushUpdate fields.
+	Active    [][]int
+	Backbone  []float32
+	BackboneQ []nn.Quantized8 // quantized alternative to Backbone
+	Weight    float64
+}
+
+// BudgetMsg mirrors modular.Budget for the wire (kept separate so protocol
+// stability does not depend on internal struct layout).
+type BudgetMsg struct {
+	CommBytes  float64
+	FwdFLOPs   float64
+	MemElems   float64
+	MaxModules int
+}
+
+// ToBudget converts the wire form.
+func (b BudgetMsg) ToBudget() modular.Budget {
+	return modular.Budget{CommBytes: b.CommBytes, FwdFLOPs: b.FwdFLOPs, MemElems: b.MemElems, MaxModules: b.MaxModules}
+}
+
+// FromBudget converts to the wire form.
+func FromBudget(b modular.Budget) BudgetMsg {
+	return BudgetMsg{CommBytes: b.CommBytes, FwdFLOPs: b.FwdFLOPs, MemElems: b.MemElems, MaxModules: b.MaxModules}
+}
+
+// Response is the cloud→client envelope.
+type Response struct {
+	OK    bool
+	Error string
+
+	// Hello reply.
+	Selector []float32
+
+	// GetSubModel reply.
+	Active    [][]int
+	Backbone  []float32
+	BackboneQ []nn.Quantized8 // set instead of Backbone when quantized
+
+	// Stats reply.
+	Stats Stats
+}
+
+// Stats are server-side counters.
+type Stats struct {
+	SubModelsServed int64
+	UpdatesReceived int64
+	Aggregations    int64
+	BytesIn         int64
+	BytesOut        int64
+}
+
+// countingConn wraps a stream and counts bytes both ways.
+type countingConn struct {
+	rw      io.ReadWriter
+	in, out *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+// Codec frames Requests/Responses over a stream with gob and counts traffic.
+type Codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	in  atomic.Int64
+	out atomic.Int64
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	c := &Codec{}
+	cc := countingConn{rw: rw, in: &c.in, out: &c.out}
+	c.enc = gob.NewEncoder(cc)
+	c.dec = gob.NewDecoder(cc)
+	return c
+}
+
+// Send encodes any gob-compatible message.
+func (c *Codec) Send(v any) error { return c.enc.Encode(v) }
+
+// Recv decodes into v.
+func (c *Codec) Recv(v any) error { return c.dec.Decode(v) }
+
+// Traffic returns bytes read and written so far.
+func (c *Codec) Traffic() (in, out int64) { return c.in.Load(), c.out.Load() }
+
+// Call sends a request and waits for the response.
+func (c *Codec) Call(req *Request) (*Response, error) {
+	if err := c.Send(req); err != nil {
+		return nil, fmt.Errorf("edgenet: send: %w", err)
+	}
+	var resp Response
+	if err := c.Recv(&resp); err != nil {
+		return nil, fmt.Errorf("edgenet: recv: %w", err)
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("edgenet: remote error: %s", resp.Error)
+	}
+	return &resp, nil
+}

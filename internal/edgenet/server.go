@@ -1,0 +1,245 @@
+package edgenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/modular"
+	"repro/internal/nn"
+)
+
+// Server is the cloud side of the testbed: it owns the modularized model,
+// serves personalized sub-models, buffers uploaded updates, and aggregates
+// them module-wise every AggregateEvery updates.
+type Server struct {
+	Model *modular.Model
+	// AggregateEvery triggers module-wise aggregation after this many
+	// uploads (the testbed's communication-round granularity).
+	AggregateEvery int
+	// Logf, when set, receives one line per protocol event.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	pending []*modular.Update
+	stats   Stats
+
+	ln     net.Listener
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a trained modularized model.
+func NewServer(model *modular.Model, aggregateEvery int) *Server {
+	if aggregateEvery < 1 {
+		aggregateEvery = 1
+	}
+	return &Server{Model: model, AggregateEvery: aggregateEvery, closed: make(chan struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. ":7070" or "127.0.0.1:0")
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("accept error: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	close(s.closed)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// ServeConn handles one client connection until EOF. Exported so tests can
+// drive the server over net.Pipe without TCP.
+func (s *Server) ServeConn(rw interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+}) {
+	codec := NewCodec(rw)
+	for {
+		var req Request
+		if err := codec.Recv(&req); err != nil {
+			in, out := codec.Traffic()
+			s.mu.Lock()
+			s.stats.BytesIn += in
+			s.stats.BytesOut += out
+			s.mu.Unlock()
+			return
+		}
+		resp := s.handle(&req)
+		if err := codec.Send(resp); err != nil {
+			s.logf("send error: %v", err)
+			return
+		}
+		if req.Kind == KindShutdown {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	switch req.Kind {
+	case KindHello:
+		s.mu.Lock()
+		vec := s.Model.Selector.Vector()
+		s.mu.Unlock()
+		s.logf("device %d hello; selector %d floats", req.DeviceID, len(vec))
+		return &Response{OK: true, Selector: vec}
+
+	case KindGetSubModel:
+		resp, err := s.serveSubModel(req)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return resp
+
+	case KindPushUpdate:
+		if err := s.acceptUpdate(req); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
+
+	case KindStats:
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		return &Response{OK: true, Stats: st}
+
+	case KindShutdown:
+		return &Response{OK: true}
+
+	default:
+		return &Response{Error: fmt.Sprintf("unknown message kind %d", req.Kind)}
+	}
+}
+
+func (s *Server) serveSubModel(req *Request) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("malformed request: %v", r)
+		}
+	}()
+	if len(req.Importance) != len(s.Model.Layers) {
+		return nil, errors.New("importance layer count mismatch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := s.Model.Derive(req.Importance, req.Budget.ToBudget(), false)
+	sub := s.Model.Extract(active)
+	s.stats.SubModelsServed++
+	s.logf("device %d sub-model: %d modules, %d B", req.DeviceID, sub.NumModules(), sub.BackboneBytes())
+	resp = &Response{OK: true, Active: active}
+	if req.Quant {
+		resp.BackboneQ = nn.QuantizeChunks(sub.BackboneVector(), 1024)
+	} else {
+		resp.Backbone = sub.BackboneVector()
+	}
+	return resp, nil
+}
+
+func (s *Server) acceptUpdate(req *Request) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("malformed update: %v", r)
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(req.Active) != len(s.Model.Layers) {
+		return errors.New("active layer count mismatch")
+	}
+	for l, idx := range req.Active {
+		for _, i := range idx {
+			if i < 0 || i >= s.Model.Layers[l].N() {
+				return fmt.Errorf("active[%d] references module %d of %d", l, i, s.Model.Layers[l].N())
+			}
+		}
+	}
+	sub := s.Model.Extract(req.Active)
+	vec := req.Backbone
+	if len(req.BackboneQ) > 0 {
+		vec = nn.DequantizeChunks(req.BackboneQ)
+	}
+	if loadErr := safeLoad(sub, vec); loadErr != nil {
+		return loadErr
+	}
+	if len(req.Importance) != len(s.Model.Layers) {
+		return errors.New("importance layer count mismatch")
+	}
+	s.pending = append(s.pending, &modular.Update{Sub: sub, Importance: req.Importance, Weight: req.Weight})
+	s.stats.UpdatesReceived++
+	if len(s.pending) >= s.AggregateEvery {
+		s.Model.AggregateModuleWise(s.pending)
+		s.pending = nil
+		s.stats.Aggregations++
+		s.logf("aggregated round %d", s.stats.Aggregations)
+	}
+	return nil
+}
+
+// FlushAggregation forces aggregation of buffered updates (end of a round).
+func (s *Server) FlushAggregation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) > 0 {
+		s.Model.AggregateModuleWise(s.pending)
+		s.pending = nil
+		s.stats.Aggregations++
+	}
+}
+
+// StatsSnapshot returns current counters.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func safeLoad(sub *modular.SubModel, vec []float32) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bad backbone vector: %v", r)
+		}
+	}()
+	sub.LoadBackboneVector(vec)
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}

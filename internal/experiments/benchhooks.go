@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Exported wrappers used by the root bench_test.go harness, which lives
+// outside this package. Each regenerates one paper artifact (or one row of
+// it) per call.
+
+// RunRowBench runs one Table-1 row (all six systems) and returns accuracies.
+func RunRowBench(opt Options, row Row) map[string]float64 {
+	accs, _ := runRow(opt, row)
+	return accs
+}
+
+// RunFig7Row runs the Figure-7 comparison (FA/HFL/Nebula communication) for
+// a single Table-1 row index and returns total bytes per system.
+func RunFig7Row(opt Options, rowIdx int) map[string]int64 {
+	row := Table1Rows(opt)[rowIdx]
+	cfg := opt.fedConfig()
+	rng := tensor.NewRNG(opt.Seed + 5)
+	proxy := data.MakeBalancedDataset(rng, row.Task.Gen, data.DefaultEnv(), opt.ProxyPerClass)
+	fleet := data.NewFleet(rng, row.Task.Gen, data.PartitionConfig{
+		NumDevices: opt.Devices, ClassesPerDevice: row.ClassesPerDevice,
+		MinVolume: 50, MaxVolume: 150, FeatureSkew: row.FeatureSkew,
+	})
+	res := map[string]int64{}
+	for _, sys := range []fed.System{fed.NewFedAvg(row.Task, cfg), fed.NewHeteroFL(row.Task, cfg), fed.NewNebula(row.Task, cfg)} {
+		srng := tensor.NewRNG(opt.Seed + 6)
+		sys.Pretrain(srng, proxy)
+		clients := fed.NewClients(tensor.NewRNG(opt.Seed+7), fleet)
+		sys.Adapt(srng, clients)
+		res[sys.Name()] = sys.Costs().Total()
+	}
+	return res
+}
+
+// RunContinuousTaskBench runs the Figure-10 protocol for one task.
+func RunContinuousTaskBench(opt Options, task *fed.Task) *ContinuousResult {
+	return runContinuousTask(opt, task, 0)
+}
+
+// NebulaAccuracyAtRatioBench runs one Figure-13(a) cell.
+func NebulaAccuracyAtRatioBench(opt Options, row Row, ratio float64) float64 {
+	return nebulaAccuracyAtRatio(opt, row, ratio)
+}
+
+// NebulaAccuracyAtGranularityBench runs one Figure-13(b) cell.
+func NebulaAccuracyAtGranularityBench(opt Options, task *fed.Task, modulesPerLayer int) float64 {
+	return nebulaAccuracyAtGranularity(opt, task, modulesPerLayer)
+}
+
+// Fig11TableBench re-exports the summary-table builder (alias for symmetry).
+func Fig11TableBench(results []*ContinuousResult) *metrics.Table { return Fig11Table(results) }

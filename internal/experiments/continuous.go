@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// ContinuousResult carries the Figure 10 series plus the Figure 11 summary
+// data for one task.
+type ContinuousResult struct {
+	Task    string
+	Fig     *metrics.Figure
+	MeanAcc map[string]float64
+	// AdaptTime is the mean simulated seconds per adaptation step.
+	AdaptTime map[string]float64
+}
+
+// RunContinuous reproduces Figures 10 and 11: model accuracy over repeated
+// adaptation steps (50% local data replaced per step) for No Adaptation,
+// Local Adaptation, Nebula and its two ablations (w/o local training, w/o
+// cloud), on every task.
+func RunContinuous(opt Options) []*ContinuousResult {
+	var out []*ContinuousResult
+	for ti, task := range fed.AllTasks(opt.Seed+30, opt.Scale) {
+		out = append(out, runContinuousTask(opt, task, int64(ti)))
+	}
+	return out
+}
+
+func runContinuousTask(opt Options, task *fed.Task, salt int64) *ContinuousResult {
+	cfg := opt.fedConfig()
+	cfg.Rounds = 1 // one communication round per adaptation step
+	cfg.DevicesPerRound = opt.Devices
+	rng := tensor.NewRNG(opt.Seed + 40 + salt)
+	proxy := data.MakeBalancedDataset(rng, task.Gen, data.DefaultEnv(), opt.ProxyPerClass)
+
+	m := task.Classes / 3
+	if m < 2 {
+		m = 2
+	}
+	newFleetClients := func(seed int64) []*fed.Client {
+		r := tensor.NewRNG(seed)
+		fleet := data.NewFleet(r, task.Gen, data.PartitionConfig{
+			NumDevices: maxInt(opt.Devices/3, 4), ClassesPerDevice: m,
+			MinVolume: 50, MaxVolume: 120,
+		})
+		return fed.NewClients(r, fleet)
+	}
+
+	type sys struct {
+		name string
+		s    fed.System
+		cl   []*fed.Client
+	}
+	mkNebula := func(local, cloud bool) *fed.Nebula {
+		nb := fed.NewNebula(task, cfg)
+		nb.LocalTraining = local
+		nb.CloudCollaboration = cloud
+		nb.TrainCfg.Epochs = opt.PretrainEpochs
+		return nb
+	}
+	na := fed.NewNoAdapt(task, cfg)
+	la := fed.NewLocalAdapt(task, cfg)
+	laCfg := cfg
+	laCfg.FinetuneEpochs = opt.FinetuneEpochs
+	systems := []sys{
+		{"no-adapt", na, newFleetClients(opt.Seed + 50 + salt)},
+		{"local-adapt", la, newFleetClients(opt.Seed + 50 + salt)},
+		{"nebula-wo-local", mkNebula(false, true), newFleetClients(opt.Seed + 50 + salt)},
+		{"nebula-wo-cloud", mkNebula(true, false), newFleetClients(opt.Seed + 50 + salt)},
+		{"nebula", mkNebula(true, true), newFleetClients(opt.Seed + 50 + salt)},
+	}
+	for _, s := range systems {
+		s.s.Pretrain(tensor.NewRNG(opt.Seed+60+salt), proxy)
+	}
+
+	fig := metrics.NewFigure("Fig 10: accuracy over adaptation steps — "+task.Name, "adaptation step", "mean local accuracy")
+	series := map[string]*metrics.Series{}
+	for _, s := range systems {
+		series[s.name] = fig.AddSeries(s.name)
+	}
+
+	res := &ContinuousResult{Task: task.Name, Fig: fig, MeanAcc: map[string]float64{}, AdaptTime: map[string]float64{}}
+	for step := 1; step <= opt.AdaptSteps; step++ {
+		for _, s := range systems {
+			for _, c := range s.cl {
+				c.Dev.Shift(opt.ShiftFrac)
+				c.Mon.Step()
+			}
+			s.s.Adapt(tensor.NewRNG(opt.Seed+int64(step)), s.cl)
+			acc := s.s.LocalAccuracy(s.cl)
+			series[s.name].Add(float64(step), acc)
+		}
+		opt.logf("fig10 %s step %d/%d", task.Name, step, opt.AdaptSteps)
+	}
+	for _, s := range systems {
+		res.MeanAcc[s.name] = series[s.name].Mean()
+		c := s.s.Costs()
+		if c.Rounds > 0 {
+			res.AdaptTime[s.name] = c.SimTime / float64(c.Rounds)
+		}
+	}
+	return res
+}
+
+// Fig11Table summarizes continuous-adaptation results: mean accuracy over
+// all steps plus mean per-step adaptation time (Figure 11).
+func Fig11Table(results []*ContinuousResult) *metrics.Table {
+	tb := metrics.NewTable("Fig 11: average adaptation accuracy (%) and per-step adaptation time",
+		"task", "metric", "no-adapt", "local-adapt", "nebula-wo-local", "nebula-wo-cloud", "nebula")
+	for _, r := range results {
+		tb.AddRow(r.Task, "accuracy",
+			f2(100*r.MeanAcc["no-adapt"]), f2(100*r.MeanAcc["local-adapt"]),
+			f2(100*r.MeanAcc["nebula-wo-local"]), f2(100*r.MeanAcc["nebula-wo-cloud"]), f2(100*r.MeanAcc["nebula"]))
+		tb.AddRow(r.Task, "adapt time",
+			"-", metrics.FmtDur(r.AdaptTime["local-adapt"]),
+			metrics.FmtDur(r.AdaptTime["nebula-wo-local"]), metrics.FmtDur(r.AdaptTime["nebula-wo-cloud"]), metrics.FmtDur(r.AdaptTime["nebula"]))
+	}
+	return tb
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

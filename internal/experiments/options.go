@@ -1,0 +1,82 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the motivation measurements (Section 2) on the
+// simulation substrate. Each runner prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fed"
+)
+
+// Options scales an experiment run. The defaults keep a full sweep tractable
+// on a laptop; ScalePaper plus larger fleets approaches the paper's setup.
+type Options struct {
+	Out   io.Writer
+	Seed  int64
+	Scale fed.Scale
+
+	// Fleet shape.
+	Devices       int
+	ProxyPerClass int
+
+	// Online stage shape.
+	Rounds          int
+	DevicesPerRound int
+	LocalEpochs     int
+	FinetuneEpochs  int
+	PretrainEpochs  int
+
+	// Continuous adaptation (Fig 10/11).
+	AdaptSteps int
+	ShiftFrac  float64
+
+	// Sub-model sweep (Fig 12).
+	RandomSubModels int
+
+	// Verbose prints progress lines during long runs.
+	Verbose bool
+	// Points additionally dumps figures' raw (x, series...) columns for
+	// external plotting.
+	Points bool
+}
+
+// Default returns quick-profile options (minutes, not hours, for the full
+// sweep).
+func Default() Options {
+	return Options{
+		Out:             os.Stdout,
+		Seed:            1,
+		Scale:           fed.ScaleQuick,
+		Devices:         24,
+		ProxyPerClass:   40,
+		Rounds:          5,
+		DevicesPerRound: 8,
+		LocalEpochs:     3,
+		FinetuneEpochs:  6,
+		PretrainEpochs:  5,
+		AdaptSteps:      10,
+		ShiftFrac:       0.5,
+		RandomSubModels: 14,
+		Verbose:         false,
+	}
+}
+
+// fedConfig converts options to the online-stage config.
+func (o Options) fedConfig() fed.Config {
+	cfg := fed.DefaultConfig()
+	cfg.Rounds = o.Rounds
+	cfg.DevicesPerRound = o.DevicesPerRound
+	cfg.LocalEpochs = o.LocalEpochs
+	cfg.FinetuneEpochs = o.FinetuneEpochs
+	return cfg
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Verbose {
+		fmt.Fprintf(o.Out, "# "+format+"\n", args...)
+	}
+}

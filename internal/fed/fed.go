@@ -1,0 +1,225 @@
+// Package fed implements the federated adaptation substrate: the client
+// fleet abstraction, local training/evaluation helpers, communication and
+// simulated-time accounting, and the adaptation strategies compared in the
+// paper's evaluation — No Adaptation, Local Adaptation, an AdaptiveNet-style
+// multi-branch baseline, FedAvg, HeteroFL, and Nebula's online stage.
+package fed
+
+import (
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/modular"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Client is one edge device: its local data stream and its runtime resource
+// monitor.
+type Client struct {
+	Dev *data.DeviceData
+	Mon *device.Monitor
+}
+
+// NewClients pairs a data fleet with sampled hardware.
+func NewClients(rng *tensor.RNG, fleet []*data.DeviceData) []*Client {
+	out := make([]*Client, len(fleet))
+	for i, dev := range fleet {
+		out[i] = &Client{Dev: dev, Mon: device.NewMonitor(rng, device.SampleClass(rng))}
+	}
+	return out
+}
+
+// Config holds the online-stage hyperparameters (paper Section 6.1).
+type Config struct {
+	LocalEpochs    int     // local epochs per communication round (3)
+	FinetuneEpochs int     // on-device adaptation epochs (10)
+	LR             float32 // 0.001 in the paper; higher here (smaller models)
+	// CollabLRScale shrinks the local LR of global-model federated training
+	// (FedAvg, HeteroFL): averaging stays coherent only when per-round
+	// client drift is small. Personalized local training (LA, AN, Nebula
+	// sub-models) uses the full LR.
+	CollabLRScale   float32
+	BatchSize       int // 16
+	DevicesPerRound int // 25
+	Rounds          int // communication rounds per adaptation step
+	TestPerDevice   int // local test samples per device
+	// DropoutProb is the probability that a sampled device becomes
+	// unreachable during a round (straggler/failure injection); the round
+	// proceeds with the survivors.
+	DropoutProb float64
+}
+
+// DefaultConfig mirrors the paper's parameter settings.
+func DefaultConfig() Config {
+	return Config{
+		LocalEpochs:     3,
+		FinetuneEpochs:  10,
+		LR:              0.01,
+		CollabLRScale:   0.3,
+		BatchSize:       16,
+		DevicesPerRound: 25,
+		Rounds:          10,
+		TestPerDevice:   60,
+	}
+}
+
+// Costs accumulates a strategy's resource usage across an adaptation run.
+type Costs struct {
+	BytesUp   int64
+	BytesDown int64
+	SimTime   float64 // simulated wall-clock seconds of the adaptation
+	Rounds    int
+}
+
+// Total returns up+down bytes.
+func (c Costs) Total() int64 { return c.BytesUp + c.BytesDown }
+
+// System is the common surface the experiments drive. One adaptation step =
+// Adapt on the current fleet state; accuracy is the mean local-task accuracy
+// over the probed clients.
+type System interface {
+	Name() string
+	// Pretrain fits the cloud-side model(s) on proxy data.
+	Pretrain(rng *tensor.RNG, proxy *data.Dataset)
+	// Adapt runs one adaptation step over the fleet (the strategy decides
+	// what that means: nothing, local fine-tuning, or federated rounds).
+	Adapt(rng *tensor.RNG, clients []*Client)
+	// LocalAccuracy evaluates each client's serving model on a fresh sample
+	// of its current local task and returns the mean accuracy.
+	LocalAccuracy(clients []*Client) float64
+	// Costs returns accumulated communication/time accounting.
+	Costs() Costs
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// TrainLayer runs standard mini-batch CE training on an nn.Layer model.
+func TrainLayer(rng *tensor.RNG, m nn.Layer, ds *data.Dataset, epochs int, lr float32, batch int) {
+	if ds.Len() == 0 {
+		return
+	}
+	opt := nn.NewSGD(lr, 0.9, 1e-4)
+	params := m.Params()
+	for e := 0; e < epochs; e++ {
+		ds.Batches(rng, batch, func(x *tensor.Tensor, y []int) {
+			logits := m.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, y)
+			m.Backward(grad)
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		})
+	}
+}
+
+// EvalLayer returns a model's accuracy on a dataset.
+func EvalLayer(m nn.Layer, ds *data.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	const chunk = 128
+	for start := 0; start < ds.Len(); start += chunk {
+		end := start + chunk
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, y := ds.Batch(idx)
+		logits := m.Forward(x, false)
+		for b := range y {
+			if logits.ArgMaxRow(b) == y[b] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// TrainSubModel runs CE training on a Nebula sub-model (selector frozen).
+func TrainSubModel(rng *tensor.RNG, s *modular.SubModel, ds *data.Dataset, epochs int, lr float32, batch int) {
+	if ds.Len() == 0 {
+		return
+	}
+	opt := nn.NewSGD(lr, 0.9, 1e-4)
+	params := s.Params()
+	for e := 0; e < epochs; e++ {
+		ds.Batches(rng, batch, func(x *tensor.Tensor, y []int) {
+			logits := s.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, y)
+			s.Backward(grad)
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		})
+	}
+}
+
+// EvalSubModel returns a sub-model's accuracy on a dataset.
+func EvalSubModel(s *modular.SubModel, ds *data.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	const chunk = 128
+	for start := 0; start < ds.Len(); start += chunk {
+		end := start + chunk
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, y := ds.Batch(idx)
+		logits := s.Forward(x, false)
+		for b := range y {
+			if logits.ArgMaxRow(b) == y[b] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// trainTime returns the simulated seconds a client spends on local training:
+// batches × epochs × per-batch latency under the current resource profile.
+func trainTime(p device.Profile, fwdFlopsPerSample int, samples, epochs, batch int) float64 {
+	if samples == 0 {
+		return 0
+	}
+	batches := (samples + batch - 1) / batch
+	return float64(epochs*batches) * p.TrainBatchLatency(fwdFlopsPerSample, batch)
+}
+
+// meanLocalAccuracyLayer evaluates one shared model on every client's local
+// test distribution.
+func meanLocalAccuracyLayer(m nn.Layer, clients []*Client, testN int) float64 {
+	if len(clients) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range clients {
+		sum += EvalLayer(m, c.Dev.TestSet(testN))
+	}
+	return sum / float64(len(clients))
+}
+
+// sampleClients picks k distinct clients.
+func sampleClients(rng *tensor.RNG, clients []*Client, k int) []*Client {
+	if k >= len(clients) {
+		return clients
+	}
+	idx := rng.Sample(len(clients), k)
+	out := make([]*Client, k)
+	for i, j := range idx {
+		out[i] = clients[j]
+	}
+	return out
+}
+
+// modelBytes is the wire size of a model's parameters and states.
+func modelBytes(m nn.Layer) int64 {
+	return nn.BytesOf(m.Params(), nn.LayerStates(m))
+}

@@ -1,0 +1,105 @@
+package fed
+
+import (
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// FedAvg is the classical federated-averaging baseline: every sampled client
+// trains the full model locally and the server replaces the global model
+// with the sample-weighted average of the client models.
+type FedAvg struct {
+	Task   *Task
+	global nn.Layer
+	cfg    Config
+	costs  Costs
+	// Mu > 0 adds the FedProx proximal term μ·(w − w_global) to local
+	// training gradients (client-drift mitigation under non-IID data).
+	Mu float32
+}
+
+// NewFedAvg builds the FA strategy.
+func NewFedAvg(task *Task, cfg Config) *FedAvg {
+	return &FedAvg{Task: task, cfg: cfg}
+}
+
+func (s *FedAvg) Name() string { return "FA" }
+
+// Pretrain fits the global model on proxy data.
+func (s *FedAvg) Pretrain(rng *tensor.RNG, proxy *data.Dataset) {
+	s.global = s.Task.BuildFull(rng, 1.0)
+	TrainLayer(rng, s.global, proxy, PretrainEpochs, s.cfg.LR, s.cfg.BatchSize)
+}
+
+// Adapt runs cfg.Rounds communication rounds.
+func (s *FedAvg) Adapt(rng *tensor.RNG, clients []*Client) {
+	for r := 0; r < s.cfg.Rounds; r++ {
+		s.round(rng, clients)
+	}
+}
+
+// Round runs exactly one communication round (used directly by the
+// convergence-speed experiments).
+func (s *FedAvg) Round(rng *tensor.RNG, clients []*Client) {
+	s.round(rng, clients)
+}
+
+func (s *FedAvg) round(rng *tensor.RNG, clients []*Client) {
+	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
+	gp := s.global.Params()
+	gs := nn.LayerStates(s.global)
+	sumVec := make([]float32, nn.VectorLen(gp, gs))
+	var totalW float64
+	bytes := modelBytes(s.global)
+	fwd, _ := nn.ForwardCost(s.global, s.Task.InElems())
+	var slot float64
+	anchor := nn.FlattenVector(gp, nil)
+	for _, c := range part {
+		if s.cfg.DropoutProb > 0 && rng.Float64() < s.cfg.DropoutProb {
+			continue // device dropped out of this round
+		}
+		local := nn.CloneLayer(s.global)
+		s.costs.BytesDown += bytes
+		s.withProx(rng, local, anchor, c.Dev.Train)
+		s.costs.BytesUp += bytes
+		w := float64(c.Dev.Train.Len())
+		totalW += w
+		vec := nn.FlattenVector(local.Params(), nn.LayerStates(local))
+		for i, v := range vec {
+			sumVec[i] += float32(w) * v
+		}
+		p := c.Mon.Profile()
+		t := p.TransferTime(bytes)*2 + trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
+		if t > slot {
+			slot = t
+		}
+	}
+	if totalW > 0 {
+		inv := float32(1.0 / totalW)
+		for i := range sumVec {
+			sumVec[i] *= inv
+		}
+		nn.LoadVector(sumVec, gp, gs)
+	}
+	s.costs.SimTime += slot
+	s.costs.Rounds++
+}
+
+// LocalAccuracy evaluates the single global model on each client's task.
+func (s *FedAvg) LocalAccuracy(clients []*Client) float64 {
+	return meanLocalAccuracyLayer(s.global, clients, s.cfg.TestPerDevice)
+}
+
+// Costs returns accumulated accounting.
+func (s *FedAvg) Costs() Costs { return s.costs }
+
+func (s *FedAvg) collabScale() float32 {
+	if s.cfg.CollabLRScale > 0 {
+		return s.cfg.CollabLRScale
+	}
+	return 1
+}
+
+// Global exposes the aggregated model.
+func (s *FedAvg) Global() nn.Layer { return s.global }

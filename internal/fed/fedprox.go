@@ -1,0 +1,47 @@
+package fed
+
+import (
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TrainLayerProx is TrainLayer with a FedProx proximal term: local gradients
+// gain μ·(w − w_anchor), penalizing drift from the anchor (the global model
+// the round started from). The standard mitigation for client drift under
+// non-IID data; FedAvg.Mu turns it on.
+func TrainLayerProx(rng *tensor.RNG, m nn.Layer, anchor []float32, mu float32, ds *data.Dataset, epochs int, lr float32, batch int) {
+	if ds.Len() == 0 {
+		return
+	}
+	opt := nn.NewSGD(lr, 0.9, 1e-4)
+	params := m.Params()
+	for e := 0; e < epochs; e++ {
+		ds.Batches(rng, batch, func(x *tensor.Tensor, y []int) {
+			logits := m.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, y)
+			m.Backward(grad)
+			if mu > 0 {
+				off := 0
+				for _, p := range params {
+					for i := range p.W.Data {
+						p.G.Data[i] += mu * (p.W.Data[i] - anchor[off+i])
+					}
+					off += p.W.Len()
+				}
+			}
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		})
+	}
+}
+
+// Mu on FedAvg enables the proximal term (FedProx). Zero keeps plain FedAvg.
+// Declared here to keep the FedProx logic in one file.
+func (s *FedAvg) withProx(rng *tensor.RNG, local nn.Layer, anchor []float32, ds *data.Dataset) {
+	if s.Mu > 0 {
+		TrainLayerProx(rng, local, anchor, s.Mu, ds, s.cfg.LocalEpochs, s.cfg.LR*s.collabScale(), s.cfg.BatchSize)
+		return
+	}
+	TrainLayer(rng, local, ds, s.cfg.LocalEpochs, s.cfg.LR*s.collabScale(), s.cfg.BatchSize)
+}

@@ -1,0 +1,354 @@
+package fed
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/modular"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Nebula is the paper's system: a modularized cloud model trained offline
+// (end-to-end + module ability-enhancing), and an online stage that derives
+// personalized sub-models under per-device resource budgets, trains them on
+// fresh local data, and aggregates them module-wise.
+type Nebula struct {
+	Task  *Task
+	Model *modular.Model
+	cfg   Config
+	costs Costs
+
+	// TrainCfg controls the offline stage.
+	TrainCfg modular.TrainConfig
+	// AbilityEnhancing toggles the Section 4.3 fine-tuning stage (ablation).
+	AbilityEnhancing bool
+	// LocalTraining=false gives the "Nebula w/o local training" variant:
+	// devices fetch fresh sub-models but never update them (and upload
+	// nothing).
+	LocalTraining bool
+	// CloudCollaboration=false gives the "Nebula w/o cloud" variant: one
+	// initial derivation, then purely local updates.
+	CloudCollaboration bool
+
+	// Budget shaping. A device's Eq. 2 budget is the always-present
+	// stem+head cost plus a capability-dependent fraction of the total
+	// module pool cost: frac = clamp((effectiveFLOPS/flagshipFLOPS)^CapExp,
+	// MinFraction, MaxFraction). Runtime contention lowers effective FLOPS
+	// and therefore shrinks the derived sub-model — the paper's
+	// accuracy-latency tradeoff under inner runtime dynamics.
+	MinFraction float64
+	MaxFraction float64
+	CapExp      float64
+	// MaxModules optionally caps sub-model module counts (0 = uncapped).
+	MaxModules int
+	// ExactDerive switches the Eq. 2 solver to branch-and-bound.
+	ExactDerive bool
+	// PullBlend controls how strongly a refresh pulls the cloud's current
+	// module parameters into a device's persistent sub-model (0 = keep local
+	// weights, 1 = overwrite with cloud). Devices keep serving and training
+	// their personalized sub-model across rounds; the pull imports the
+	// knowledge other devices contributed to the shared modules.
+	PullBlend float32
+	// RederiveOverlap re-derives the sub-model structure when the Jaccard
+	// overlap between the held modules and the freshly preferred selection
+	// drops below it — i.e. when the local task changed enough that
+	// different modules matter.
+	RederiveOverlap float64
+
+	// Trace optionally receives structured per-round events (nil = off).
+	Trace *trace.Logger
+
+	subs       map[int]*modular.SubModel
+	imps       map[int][][]float64
+	hasGatePkg map[int]bool // devices that already hold the selector
+}
+
+// NewNebula builds the Nebula strategy with paper-like defaults.
+func NewNebula(task *Task, cfg Config) *Nebula {
+	tc := modular.DefaultTrainConfig()
+	// The offline stage runs on the cloud where compute is plentiful; the
+	// modularized MoE-style model also needs a longer schedule than a plain
+	// model to train its selector and modules jointly.
+	tc.Epochs = 2 * PretrainEpochs
+	tc.BatchSize = cfg.BatchSize
+	tc.GroupSize = task.GroupSize
+	return &Nebula{
+		Task:               task,
+		cfg:                cfg,
+		TrainCfg:           tc,
+		AbilityEnhancing:   true,
+		LocalTraining:      true,
+		CloudCollaboration: true,
+		MinFraction:        0.2,
+		MaxFraction:        0.45,
+		CapExp:             0.3,
+		PullBlend:          0.1,
+		RederiveOverlap:    0.55,
+		subs:               map[int]*modular.SubModel{},
+		imps:               map[int][][]float64{},
+		hasGatePkg:         map[int]bool{},
+	}
+}
+
+func (s *Nebula) Name() string { return "Nebula" }
+
+// Pretrain runs the offline on-cloud stage: modularize (done by the
+// builder), end-to-end train with load balancing, then ability-enhance.
+func (s *Nebula) Pretrain(rng *tensor.RNG, proxy *data.Dataset) {
+	s.Model = s.Task.BuildModular(rng)
+	s.Model.TrainEndToEnd(rng, proxy, s.TrainCfg)
+	if s.AbilityEnhancing {
+		ae := s.TrainCfg
+		ae.Epochs = (ae.Epochs + 1) / 2
+		s.Model.AbilityEnhance(rng, proxy, ae)
+	}
+}
+
+// deviceBudget turns a resource profile into the Eq. 2 budget vector: the
+// fixed stem+head cost plus a capability fraction of the full module pool.
+func (s *Nebula) deviceBudget(c *Client) modular.Budget {
+	p := c.Mon.Profile()
+	frac := s.capabilityFraction(p.ComputeFLOPS)
+	stem, head, mods := s.Model.ModuleCosts()
+	var poolBytes, poolFlops, poolMem float64
+	for _, layer := range mods {
+		for _, mc := range layer {
+			poolBytes += float64(mc.Bytes)
+			poolFlops += float64(mc.FwdFLOPs)
+			poolMem += float64(mc.TrainMemEl)
+		}
+	}
+	return modular.Budget{
+		CommBytes:  float64(stem.Bytes+head.Bytes) + frac*poolBytes,
+		FwdFLOPs:   float64(stem.FwdFLOPs+head.FwdFLOPs) + frac*poolFlops,
+		MemElems:   float64(stem.TrainMemEl+head.TrainMemEl) + frac*poolMem,
+		MaxModules: s.MaxModules,
+	}
+}
+
+// capabilityFraction maps effective device compute (contention included) to
+// the fraction of the module pool the device may hold.
+func (s *Nebula) capabilityFraction(effectiveFLOPS float64) float64 {
+	const flagship = 1.2e12 // device.Catalogue top tier
+	r := effectiveFLOPS / flagship
+	if r <= 0 {
+		return s.MinFraction
+	}
+	frac := 1.0
+	if r < 1 {
+		frac = math.Pow(r, s.CapExp)
+	}
+	if frac < s.MinFraction {
+		frac = s.MinFraction
+	}
+	if frac > s.MaxFraction {
+		frac = s.MaxFraction
+	}
+	return frac
+}
+
+// importanceOf computes a device's module importance from (a sample of) its
+// local data using only the lightweight selector.
+func (s *Nebula) importanceOf(c *Client) [][]float64 {
+	ds := c.Dev.Train
+	n := ds.Len()
+	if n > 64 {
+		n = 64
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	x, _ := ds.Batch(idx)
+	return s.Model.Importance(x)
+}
+
+// Adapt runs cfg.Rounds online rounds (or, for the w/o-cloud variant, pure
+// local updates).
+func (s *Nebula) Adapt(rng *tensor.RNG, clients []*Client) {
+	if !s.CloudCollaboration {
+		s.adaptLocalOnly(rng, clients)
+		return
+	}
+	for r := 0; r < s.cfg.Rounds; r++ {
+		s.round(rng, clients)
+	}
+}
+
+// Round runs one online round.
+func (s *Nebula) Round(rng *tensor.RNG, clients []*Client) { s.round(rng, clients) }
+
+func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
+	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
+	s.Trace.RoundStart(s.costs.Rounds + 1)
+	var updates []*modular.Update
+	var slot float64
+	for _, c := range part {
+		if s.cfg.DropoutProb > 0 && rng.Float64() < s.cfg.DropoutProb {
+			continue // device dropped out of this round
+		}
+		imp := s.importanceOf(c)
+		active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
+		held := s.subs[c.Dev.ID]
+		var sub *modular.SubModel
+		var bytes int64
+		if held != nil && overlapRatio(held.Mapping, active) >= s.RederiveOverlap {
+			// Keep the personalized sub-model; pull the cloud's current
+			// parameters for the held modules and blend them in.
+			cloudSub := s.Model.Extract(held.Mapping)
+			blendSubModels(held, cloudSub, s.PullBlend)
+			sub = held
+			bytes = cloudSub.BackboneBytes()
+		} else {
+			// First contact or the local task moved: new structure.
+			sub = s.Model.Extract(active)
+			bytes = sub.BackboneBytes()
+		}
+		if !s.hasGatePkg[c.Dev.ID] {
+			bytes += sub.SelectorBytes()
+			s.hasGatePkg[c.Dev.ID] = true
+		}
+		s.costs.BytesDown += bytes
+		s.subs[c.Dev.ID] = sub
+		s.imps[c.Dev.ID] = imp
+		p := c.Mon.Profile()
+		t := p.TransferTime(bytes)
+		if s.LocalTraining {
+			TrainSubModel(rng, sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
+			upBytes := int64(nn.ParamCount(sub.Params())) * 4 // modules+stem+head; selector is not updated on edge
+			s.costs.BytesUp += upBytes
+			hist := c.Dev.Train.ClassHistogram()
+			cw := make([]float64, len(hist))
+			for ci, n := range hist {
+				cw[ci] = float64(n)
+			}
+			updates = append(updates, &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw})
+			_, fwd, _ := s.Model.SelectionCost(sub.Mapping)
+			t += trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize) + p.TransferTime(upBytes)
+		}
+		if t > slot {
+			slot = t
+		}
+		var up int64
+		if s.LocalTraining {
+			up = int64(nn.ParamCount(sub.Params())) * 4
+		}
+		s.Trace.ClientUpdate(s.costs.Rounds+1, c.Dev.ID, sub.NumModules(), bytes, up, t)
+	}
+	if len(updates) > 0 {
+		s.Model.AggregateModuleWise(updates)
+		s.Trace.Aggregate(s.costs.Rounds+1, len(updates))
+	}
+	s.costs.SimTime += slot
+	s.costs.Rounds++
+}
+
+// adaptLocalOnly implements the w/o-cloud ablation: derive once, then only
+// local training.
+func (s *Nebula) adaptLocalOnly(rng *tensor.RNG, clients []*Client) {
+	var slot float64
+	for _, c := range clients {
+		sub, ok := s.subs[c.Dev.ID]
+		if !ok {
+			imp := s.importanceOf(c)
+			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
+			sub = s.Model.Extract(active)
+			s.costs.BytesDown += sub.ParamBytes()
+			s.hasGatePkg[c.Dev.ID] = true
+			s.subs[c.Dev.ID] = sub
+		}
+		TrainSubModel(rng, sub, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
+		p := c.Mon.Profile()
+		fwd := 0
+		if m := s.Model; m != nil {
+			_, f, _ := m.SelectionCost(s.activeOf(sub))
+			fwd = f
+		}
+		t := trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
+		if t > slot {
+			slot = t
+		}
+	}
+	s.costs.SimTime += slot
+	s.costs.Rounds++
+}
+
+// overlapRatio computes the Jaccard overlap between a held sub-model's
+// module sets and a freshly derived selection.
+func overlapRatio(held [][]int, active [][]int) float64 {
+	inter, union := 0, 0
+	for l := range held {
+		seen := map[int]bool{}
+		for _, i := range held[l] {
+			seen[i] = true
+		}
+		both := map[int]bool{}
+		for _, i := range held[l] {
+			both[i] = true
+		}
+		if l < len(active) {
+			for _, i := range active[l] {
+				if seen[i] {
+					inter++
+				}
+				both[i] = true
+			}
+		}
+		union += len(both)
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// blendSubModels blends cloud parameters into a local sub-model:
+// local = (1−b)·local + b·cloud, for parameters and states.
+func blendSubModels(local, cloud *modular.SubModel, b float32) {
+	lp, cp := local.Params(), cloud.Params()
+	for i := range lp {
+		lp[i].W.Scale(1 - b)
+		lp[i].W.AddScaled(b, cp[i].W)
+	}
+	ls := append(nn.LayerStates(local.Stem), nn.LayerStates(local.Head)...)
+	cs := append(nn.LayerStates(cloud.Stem), nn.LayerStates(cloud.Head)...)
+	for i := range ls {
+		ls[i].Scale(1 - b)
+		ls[i].AddScaled(b, cs[i])
+	}
+}
+
+// activeOf reconstructs the original-index selection of a sub-model.
+func (s *Nebula) activeOf(sub *modular.SubModel) [][]int {
+	return sub.Mapping
+}
+
+// LocalAccuracy evaluates each device's current sub-model; devices that
+// never participated derive one on the spot (a pure download, charged).
+func (s *Nebula) LocalAccuracy(clients []*Client) float64 {
+	if len(clients) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range clients {
+		sub, ok := s.subs[c.Dev.ID]
+		if !ok {
+			imp := s.importanceOf(c)
+			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
+			sub = s.Model.Extract(active)
+			s.costs.BytesDown += sub.ParamBytes()
+			s.hasGatePkg[c.Dev.ID] = true
+			s.subs[c.Dev.ID] = sub
+		}
+		sum += EvalSubModel(sub, c.Dev.TestSet(s.cfg.TestPerDevice))
+	}
+	return sum / float64(len(clients))
+}
+
+// Costs returns accumulated accounting.
+func (s *Nebula) Costs() Costs { return s.costs }
+
+// SubModelOf returns the stored sub-model of a client (nil if none).
+func (s *Nebula) SubModelOf(id int) *modular.SubModel { return s.subs[id] }

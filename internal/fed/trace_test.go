@@ -1,0 +1,54 @@
+package fed
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+func TestNebulaEmitsTraceEvents(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	task := HARTask(22, ScaleQuick)
+	cfg := tinyCfg()
+	cfg.Rounds = 2
+	cfg.DevicesPerRound = 3
+	nb := NewNebula(task, cfg)
+	nb.TrainCfg.Epochs = 1
+	var buf bytes.Buffer
+	nb.Trace = trace.New(&buf)
+	nb.Pretrain(rng, proxyFor(rng, task, 10))
+	clients := harFleet(rng, task, 4, 2)
+	nb.Adapt(rng, clients)
+
+	events, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.Summarize(events)
+	if sum.Rounds != 2 {
+		t.Fatalf("trace rounds %d, want 2", sum.Rounds)
+	}
+	costs := nb.Costs()
+	if sum.BytesDown != costs.BytesDown || sum.BytesUp != costs.BytesUp {
+		t.Fatalf("trace accounting %d/%d disagrees with Costs %d/%d",
+			sum.BytesDown, sum.BytesUp, costs.BytesDown, costs.BytesUp)
+	}
+	// Per-round client updates present.
+	var updates, aggs int
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindClientUpdate:
+			updates++
+			if e.Modules <= 0 {
+				t.Fatal("client update without module count")
+			}
+		case trace.KindAggregate:
+			aggs++
+		}
+	}
+	if updates != 2*3 || aggs != 2 {
+		t.Fatalf("events: %d updates, %d aggregations", updates, aggs)
+	}
+}

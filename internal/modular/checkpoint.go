@@ -1,0 +1,153 @@
+package modular
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+)
+
+// checkpointMagic guards against loading unrelated files.
+const checkpointMagic = "nebula-checkpoint-v1"
+
+// checkpointHeader describes the architecture a checkpoint belongs to; the
+// loader validates it against the skeleton before touching any weights.
+type checkpointHeader struct {
+	Magic      string
+	LayerSizes []int
+	TopK       int
+	InShape    []int
+	ParamCount int
+	StateCount int
+	SelCount   int
+}
+
+// checkpointBody carries the numeric payload.
+type checkpointBody struct {
+	Backbone []float32 // stem + modules + head parameters
+	States   []float32 // stem/layer/head running statistics
+	Selector []float32
+}
+
+// SaveCheckpoint writes the model's parameters, running statistics and
+// selector to w. The architecture itself is not serialized — both ends of a
+// deployment build identical skeletons from the shared task seed (the same
+// convention the edgenet protocol uses) — but the header lets the loader
+// reject mismatched skeletons loudly.
+func SaveCheckpoint(w io.Writer, m *Model) error {
+	backbone := nn.FlattenVector(m.BackboneParams(), nil)
+	states := flattenStates(m)
+	sel := m.Selector.Vector()
+	hdr := checkpointHeader{
+		Magic:      checkpointMagic,
+		LayerSizes: m.LayerSizes(),
+		TopK:       m.TopK,
+		InShape:    m.InShape,
+		ParamCount: len(backbone),
+		StateCount: len(states),
+		SelCount:   len(sel),
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("modular: encode checkpoint header: %w", err)
+	}
+	if err := enc.Encode(checkpointBody{Backbone: backbone, States: states, Selector: sel}); err != nil {
+		return fmt.Errorf("modular: encode checkpoint body: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a checkpoint into an architecturally identical
+// skeleton.
+func LoadCheckpoint(r io.Reader, m *Model) error {
+	dec := gob.NewDecoder(r)
+	var hdr checkpointHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("modular: decode checkpoint header: %w", err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return fmt.Errorf("modular: not a nebula checkpoint")
+	}
+	if !intsEqual(hdr.LayerSizes, m.LayerSizes()) || !intsEqual(hdr.InShape, m.InShape) {
+		return fmt.Errorf("modular: checkpoint architecture %v/%v does not match skeleton %v/%v",
+			hdr.LayerSizes, hdr.InShape, m.LayerSizes(), m.InShape)
+	}
+	var body checkpointBody
+	if err := dec.Decode(&body); err != nil {
+		return fmt.Errorf("modular: decode checkpoint body: %w", err)
+	}
+	if len(body.Backbone) != hdr.ParamCount || len(body.Selector) != hdr.SelCount {
+		return fmt.Errorf("modular: checkpoint body sizes disagree with header")
+	}
+	bp := m.BackboneParams()
+	if nn.VectorLen(bp, nil) != len(body.Backbone) {
+		return fmt.Errorf("modular: backbone size mismatch: checkpoint %d, skeleton %d",
+			len(body.Backbone), nn.VectorLen(bp, nil))
+	}
+	nn.LoadVector(body.Backbone, bp, nil)
+	if err := loadStates(m, body.States); err != nil {
+		return err
+	}
+	m.Selector.LoadVector(body.Selector)
+	return nil
+}
+
+// flattenStates concatenates every running-state tensor.
+func flattenStates(m *Model) []float32 {
+	var out []float32
+	walkStates(m, func(data []float32) { out = append(out, data...) })
+	return out
+}
+
+// loadStates restores the concatenated state vector.
+func loadStates(m *Model, vec []float32) error {
+	off := 0
+	var err error
+	walkStates(m, func(data []float32) {
+		if err != nil {
+			return
+		}
+		if off+len(data) > len(vec) {
+			err = fmt.Errorf("modular: checkpoint state vector too short")
+			return
+		}
+		copy(data, vec[off:off+len(data)])
+		off += len(data)
+	})
+	if err != nil {
+		return err
+	}
+	if off != len(vec) {
+		return fmt.Errorf("modular: checkpoint state vector has %d leftover values", len(vec)-off)
+	}
+	return nil
+}
+
+// walkStates visits every state tensor's backing slice in fixed order.
+func walkStates(m *Model, fn func([]float32)) {
+	visit := func(l nn.Layer) {
+		for _, st := range nn.LayerStates(l) {
+			fn(st.Data)
+		}
+	}
+	visit(m.Stem)
+	for _, layer := range m.Layers {
+		for _, mod := range layer.Modules {
+			visit(mod)
+		}
+	}
+	visit(m.Head)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

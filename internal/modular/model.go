@@ -1,0 +1,164 @@
+package modular
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is a modularized cloud model: stem → L module layers → head, with a
+// unified selector making routing decisions for all layers at once.
+type Model struct {
+	Stem     nn.Layer
+	Layers   []*ModuleLayer
+	Head     nn.Layer
+	Selector *Selector
+
+	InShape []int // per-sample input shape
+	TopK    int   // modules activated per layer per sample
+
+	// caches
+	lastProbs [][]([]float32)
+}
+
+// InFlat returns the flattened per-sample input size.
+func (m *Model) InFlat() int {
+	n := 1
+	for _, d := range m.InShape {
+		n *= d
+	}
+	return n
+}
+
+// LayerSizes returns the module count per layer.
+func (m *Model) LayerSizes() []int {
+	out := make([]int, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = l.N()
+	}
+	return out
+}
+
+// Params returns every trainable parameter: stem, modules, head, selector.
+func (m *Model) Params() []*nn.Param {
+	ps := m.Stem.Params()
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	ps = append(ps, m.Head.Params()...)
+	ps = append(ps, m.Selector.Params()...)
+	return ps
+}
+
+// BackboneParams returns stem + module + head parameters (no selector).
+func (m *Model) BackboneParams() []*nn.Param {
+	ps := m.Stem.Params()
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return append(ps, m.Head.Params()...)
+}
+
+// Forward runs the full modularized model. active optionally restricts each
+// layer's usable modules (nil = all; sub-models pass their selection).
+func (m *Model) Forward(x *tensor.Tensor, active [][]int, train bool) *tensor.Tensor {
+	probs := m.Selector.Forward(x, train)
+	m.lastProbs = probs
+	h := m.Stem.Forward(x, train)
+	for l, layer := range m.Layers {
+		var act []int
+		if active != nil {
+			act = active[l]
+		}
+		h = layer.Forward(h, probs[l], m.TopK, act, train)
+	}
+	return m.Head.Forward(h, train)
+}
+
+// Backward propagates the loss gradient through head, module layers, stem
+// and selector, accumulating all parameter gradients. lbWeight adds the
+// load-balancing term to the selector gradient (0 disables it).
+func (m *Model) Backward(dLogits *tensor.Tensor, lbWeight float32) (lbLoss float64) {
+	g := m.Head.Backward(dLogits)
+	dProbs := make([]*tensor.Tensor, len(m.Layers))
+	for l := len(m.Layers) - 1; l >= 0; l-- {
+		var gateGrads [][]float32
+		g, gateGrads = m.Layers[l].Backward(g)
+		idx, gates := m.Layers[l].SelGates()
+		dProbs[l] = GateGradToProbGrad(gateGrads, idx, gates, m.Selector.probs[l])
+	}
+	m.Stem.Backward(g)
+	if lbWeight > 0 {
+		for l := range m.Layers {
+			lbLoss += LoadBalanceLoss(m.Selector.probs[l], dProbs[l], lbWeight)
+		}
+	}
+	m.Selector.Backward(dProbs)
+	return lbLoss
+}
+
+// Importance computes per-layer module importance for a dataset-like batch:
+// the mean selector probability over samples (Section 5.1's importance
+// metric). The model itself is not executed — only the lightweight selector.
+func (m *Model) Importance(x *tensor.Tensor) [][]float64 {
+	probs := m.Selector.Forward(x, false)
+	batch := x.Dim(0)
+	out := make([][]float64, len(m.Layers))
+	for l := range m.Layers {
+		imp := make([]float64, m.Layers[l].N())
+		for b := 0; b < batch; b++ {
+			for i, p := range probs[l][b] {
+				imp[i] += float64(p)
+			}
+		}
+		for i := range imp {
+			imp[i] /= float64(batch)
+		}
+		out[l] = imp
+	}
+	return out
+}
+
+// ModuleCosts returns per-layer, per-module static resource costs. The input
+// element count per sample is threaded through stem and layers using the
+// cost interfaces. Module layers report the cost of each module in
+// isolation; a sub-model's cost is the sum over its chosen modules (plus
+// stem and head, which every sub-model carries).
+func (m *Model) ModuleCosts() (stem, head device.ModelCost, modules [][]device.ModelCost) {
+	inElems := m.InFlat()
+	stem = device.CostOf(m.Stem, inElems)
+	_, cur := nn.ForwardCost(m.Stem, inElems)
+	modules = make([][]device.ModelCost, len(m.Layers))
+	for l, layer := range m.Layers {
+		modules[l] = make([]device.ModelCost, layer.N())
+		next := cur
+		for i, mod := range layer.Modules {
+			c := device.CostOf(mod, cur)
+			modules[l][i] = c
+			if _, out := nn.ForwardCost(mod, cur); out > 0 {
+				next = out
+			}
+		}
+		cur = next
+	}
+	head = device.CostOf(m.Head, cur)
+	return stem, head, modules
+}
+
+// Validate panics if the model is structurally inconsistent (selector head
+// widths vs module counts). Builders call it before returning.
+func (m *Model) Validate() {
+	if len(m.Selector.Heads) != len(m.Layers) {
+		panic(fmt.Sprintf("modular: %d selector heads for %d layers", len(m.Selector.Heads), len(m.Layers)))
+	}
+	for l, layer := range m.Layers {
+		if m.Selector.Heads[l].Out != layer.N() {
+			panic(fmt.Sprintf("modular: head %d width %d, layer has %d modules", l, m.Selector.Heads[l].Out, layer.N()))
+		}
+	}
+	if m.TopK < 1 {
+		panic("modular: TopK must be ≥ 1")
+	}
+}

@@ -1,0 +1,185 @@
+package modular
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestAggregationFixedPoint: aggregating sub-models that carry exactly the
+// cloud's current parameters must leave the cloud model unchanged, for any
+// retention factor — the fixed-point property of weighted averaging.
+func TestAggregationFixedPoint(t *testing.T) {
+	f := func(seed int64, retainRaw uint8) bool {
+		rng := tensor.NewRNG(seed%1000 + 1)
+		m := NewModularMLP(rng, 8, 12, 3, smallCfg())
+		before := nn.FlattenVector(m.Params(), nil)
+		retain := float64(retainRaw%90) / 100
+		subA := m.Extract([][]int{{0, 1}})
+		subB := m.Extract([][]int{{1, 2}})
+		imp := [][]float64{{0.4, 0.3, 0.2, 0.1}}
+		m.AggregateModuleWiseRetain([]*Update{
+			{Sub: subA, Importance: imp, Weight: 10},
+			{Sub: subB, Importance: imp, Weight: 20},
+		}, retain)
+		after := nn.FlattenVector(m.Params(), nil)
+		for i := range before {
+			if math.Abs(float64(before[i]-after[i])) > 1e-5*(1+math.Abs(float64(before[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregationConvexity: after aggregating sub-models whose module
+// parameters were set to constants a and b, every aggregated weight lies in
+// the convex hull of {old, a, b}.
+func TestAggregationConvexity(t *testing.T) {
+	f := func(seed int64, av, bv int8, retainRaw uint8) bool {
+		rng := tensor.NewRNG(seed%1000 + 1)
+		m := NewModularMLP(rng, 8, 12, 3, smallCfg())
+		a := float32(av) / 32
+		b := float32(bv) / 32
+		retain := float64(retainRaw%90) / 100
+		subA := m.Extract([][]int{{0}})
+		subB := m.Extract([][]int{{0}})
+		for _, p := range subA.Layers[0].Modules[0].Params() {
+			p.W.Fill(a)
+		}
+		for _, p := range subB.Layers[0].Modules[0].Params() {
+			p.W.Fill(b)
+		}
+		old := map[*nn.Param][]float32{}
+		for _, p := range m.Layers[0].Modules[0].Params() {
+			old[p] = append([]float32(nil), p.W.Data...)
+		}
+		imp := [][]float64{{0.5, 0.3, 0.1, 0.1}}
+		m.AggregateModuleWiseRetain([]*Update{
+			{Sub: subA, Importance: imp, Weight: 1},
+			{Sub: subB, Importance: imp, Weight: 1},
+		}, retain)
+		for _, p := range m.Layers[0].Modules[0].Params() {
+			for i, v := range p.W.Data {
+				lo := minF(old[p][i], minF(a, b))
+				hi := maxF(old[p][i], maxF(a, b))
+				if float64(v) < float64(lo)-1e-5 || float64(v) > float64(hi)+1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minF(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxF(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestDeriveAlwaysCoversEveryLayer: whatever the (non-negative) importance
+// and budget, derivation keeps at least one module per layer.
+func TestDeriveAlwaysCoversEveryLayer(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := NewModularMLP(rng, 8, 12, 3, smallCfg())
+	f := func(seed int64, budgetScale uint16) bool {
+		r := tensor.NewRNG(seed%997 + 1)
+		imp := make([][]float64, len(m.Layers))
+		for l := range imp {
+			imp[l] = make([]float64, m.Layers[l].N())
+			for i := range imp[l] {
+				imp[l][i] = r.Float64()
+			}
+		}
+		b := Budget{
+			CommBytes: float64(budgetScale),
+			FwdFLOPs:  float64(budgetScale) * 10,
+			MemElems:  float64(budgetScale) * 10,
+		}
+		active := m.Derive(imp, b, false)
+		for _, layer := range active {
+			if len(layer) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractLoadVectorRoundTripQuick: backbone vectors survive a round trip
+// through an architecturally identical extraction (the edgenet wire
+// contract).
+func TestExtractLoadVectorRoundTripQuick(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	m := NewModularMLP(rng, 8, 12, 3, smallCfg())
+	f := func(pick uint8) bool {
+		n := m.Layers[0].N()
+		i := int(pick) % n
+		j := (int(pick)/n + 1 + i) % n
+		if j == i {
+			j = (i + 1) % n
+		}
+		sel := []int{i, j}
+		if j < i {
+			sel = []int{j, i}
+		}
+		a := m.Extract([][]int{sel})
+		vec := a.BackboneVector()
+		b := m.Extract([][]int{sel})
+		b.LoadBackboneVector(vec)
+		va := a.BackboneVector()
+		vb := b.BackboneVector()
+		for k := range va {
+			if va[k] != vb[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportanceInvariantToBatchOrder: module importance is a mean over
+// samples, so permuting the probe batch must not change it.
+func TestImportanceInvariantToBatchOrder(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	m := NewModularMLP(rng, 8, 12, 3, smallCfg())
+	x := tensor.New(10, 8)
+	rng.FillNormal(x, 0, 1)
+	imp1 := m.Importance(x)
+	// Reverse the batch.
+	rev := tensor.New(10, 8)
+	for b := 0; b < 10; b++ {
+		copy(rev.Row(9-b), x.Row(b))
+	}
+	imp2 := m.Importance(rev)
+	for l := range imp1 {
+		for i := range imp1[l] {
+			if math.Abs(imp1[l][i]-imp2[l][i]) > 1e-5 {
+				t.Fatalf("importance depends on batch order: %v vs %v", imp1[l][i], imp2[l][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// CloneLayer deep-copies a layer: same architecture, independent parameter
+// and state tensors, no shared caches. Sub-model extraction and per-device
+// model instantiation are built on this.
+func CloneLayer(l Layer) Layer {
+	switch v := l.(type) {
+	case *Dense:
+		c := &Dense{In: v.In, Out: v.Out,
+			Weight: cloneParam(v.Weight), Bias: cloneParam(v.Bias)}
+		return c
+	case *Conv2D:
+		return &Conv2D{
+			InC: v.InC, OutC: v.OutC, KH: v.KH, KW: v.KW, Stride: v.Stride, Pad: v.Pad,
+			Weight: cloneParam(v.Weight), Bias: cloneParam(v.Bias),
+		}
+	case *BatchNorm:
+		c := &BatchNorm{Feat: v.Feat, Eps: v.Eps, Momentum: v.Momentum,
+			Gamma: cloneParam(v.Gamma), Beta: cloneParam(v.Beta),
+			RunMean: v.RunMean.Clone(), RunVar: v.RunVar.Clone()}
+		return c
+	case *ReLU:
+		return NewReLU()
+	case *Dropout:
+		// Clone keeps the rate; gives the copy a derived RNG stream.
+		return &Dropout{Rate: v.Rate, rng: v.rng.Split()}
+	case *MaxPool2D:
+		return NewMaxPool2D(v.Size, v.Stride)
+	case *AvgPool2D:
+		return NewAvgPool2D(v.Size, v.Stride)
+	case *LayerNorm:
+		return &LayerNorm{Feat: v.Feat, Eps: v.Eps,
+			Gamma: cloneParam(v.Gamma), Beta: cloneParam(v.Beta)}
+	case *GlobalAvgPool:
+		return NewGlobalAvgPool()
+	case *Flatten:
+		return NewFlatten()
+	case *Identity:
+		return NewIdentity()
+	case Identity:
+		return Identity{}
+	case *Sequential:
+		s := NewSequential()
+		for _, inner := range v.Layers {
+			s.Append(CloneLayer(inner))
+		}
+		return s
+	case *Residual:
+		var proj Layer
+		if v.Proj != nil {
+			proj = CloneLayer(v.Proj)
+		}
+		return NewResidual(CloneLayer(v.Body), proj)
+	default:
+		panic(fmt.Sprintf("nn: CloneLayer does not support %T", l))
+	}
+}
+
+func cloneParam(p *Param) *Param {
+	return &Param{Name: p.Name, W: p.W.Clone(), G: tensor.New(p.W.Shape()...)}
+}
+
+// CopyParams copies parameter values (and states) from src to dst layers of
+// identical architecture.
+func CopyParams(dst, src Layer) {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		panic(fmt.Sprintf("nn: CopyParams param count mismatch %d vs %d", len(dp), len(sp)))
+	}
+	for i := range dp {
+		dp[i].W.CopyFrom(sp[i].W)
+	}
+	ds, ss := LayerStates(dst), LayerStates(src)
+	if len(ds) != len(ss) {
+		panic("nn: CopyParams state count mismatch")
+	}
+	for i := range ds {
+		ds[i].CopyFrom(ss[i])
+	}
+}

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batch-first [batch, inC, H, W] tensors,
+// implemented as im2col + GEMM. Weight has logical shape
+// [outC, inC, kh, kw] so that width-slicing (HeteroFL) can take nested
+// channel prefixes along both channel dimensions.
+type Conv2D struct {
+	InC, OutC  int
+	KH, KW     int
+	Stride     int
+	Pad        int
+	Weight     *Param // [outC, inC, kh, kw]
+	Bias       *Param // [outC]
+	inH, inW   int
+	outH, outW int
+
+	cols  []*tensor.Tensor // cached per-sample im2col matrices
+	batch int
+}
+
+// NewConv2D creates a convolution with He initialization.
+func NewConv2D(rng *tensor.RNG, inC, outC, kernel, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kernel, KW: kernel, Stride: stride, Pad: pad,
+		Weight: NewParam("conv.w", outC, inC, kernel, kernel),
+		Bias:   NewParam("conv.b", outC),
+	}
+	rng.FillHe(c.Weight.W, inC*kernel*kernel)
+	return c
+}
+
+// Forward applies the convolution. Samples are processed in parallel.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("Conv2D", x, 4)
+	batch := x.Dim(0)
+	if x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %v", c.InC, x.Shape()))
+	}
+	c.inH, c.inW = x.Dim(2), x.Dim(3)
+	c.outH = tensor.ConvOutSize(c.inH, c.KH, c.Stride, c.Pad)
+	c.outW = tensor.ConvOutSize(c.inW, c.KW, c.Stride, c.Pad)
+	c.batch = batch
+	kdim := c.InC * c.KH * c.KW
+	cols := c.outH * c.outW
+	if cap(c.cols) < batch {
+		c.cols = make([]*tensor.Tensor, batch)
+	}
+	c.cols = c.cols[:batch]
+	y := tensor.New(batch, c.OutC, c.outH, c.outW)
+	inStride := c.InC * c.inH * c.inW
+	outStride := c.OutC * cols
+	w := c.Weight.W.Data // flat [outC, kdim]
+	tensor.ParallelForAtomic(batch, func(b int) {
+		if c.cols[b] == nil || c.cols[b].Len() != kdim*cols {
+			c.cols[b] = tensor.New(kdim, cols)
+		}
+		col := c.cols[b]
+		tensor.Im2Col(x.Data[b*inStride:(b+1)*inStride], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, col.Data)
+		out := y.Data[b*outStride : (b+1)*outStride]
+		tensor.Gemm(false, false, c.OutC, cols, kdim, 1, w, col.Data, 0, out)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.Bias.W.Data[oc]
+			orow := out[oc*cols : (oc+1)*cols]
+			for i := range orow {
+				orow[i] += bias
+			}
+		}
+	})
+	return y
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch := c.batch
+	kdim := c.InC * c.KH * c.KW
+	cols := c.outH * c.outW
+	outStride := c.OutC * cols
+	inStride := c.InC * c.inH * c.inW
+	dx := tensor.New(batch, c.InC, c.inH, c.inW)
+
+	// Weight gradients accumulate across samples; each parallel chunk fills
+	// a private accumulator, and the partials are reduced in chunk order so
+	// the floating-point sum is deterministic for a fixed worker count.
+	maxChunks := tensor.Parallelism
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	dws := make([][]float32, maxChunks)
+	dbs := make([][]float32, maxChunks)
+	used := tensor.ParallelForChunks(batch, func(chunk, s, e int) {
+		dw := make([]float32, c.OutC*kdim)
+		db := make([]float32, c.OutC)
+		dcol := make([]float32, kdim*cols)
+		for b := s; b < e; b++ {
+			g := grad.Data[b*outStride : (b+1)*outStride]
+			// dW += g · colᵀ
+			tensor.Gemm(false, true, c.OutC, kdim, cols, 1, g, c.cols[b].Data, 1, dw)
+			for oc := 0; oc < c.OutC; oc++ {
+				var sum float32
+				for _, v := range g[oc*cols : (oc+1)*cols] {
+					sum += v
+				}
+				db[oc] += sum
+			}
+			// dcol = Wᵀ · g
+			tensor.Gemm(true, false, kdim, cols, c.OutC, 1, c.Weight.W.Data, g, 0, dcol)
+			tensor.Col2Im(dcol, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dx.Data[b*inStride:(b+1)*inStride])
+		}
+		dws[chunk] = dw
+		dbs[chunk] = db
+	})
+	for chunk := 0; chunk < used; chunk++ {
+		tensor.Axpy(1, dws[chunk], c.Weight.G.Data)
+		tensor.Axpy(1, dbs[chunk], c.Bias.G.Data)
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Cost reports per-sample FLOPs (2·outC·inC·kh·kw per output pixel) and
+// output activation count. inElems must be inC*H*W; the layer uses its own
+// recorded spatial dims when available, otherwise infers square inputs.
+func (c *Conv2D) Cost(inElems int) (int, int) {
+	h, w := c.inH, c.inW
+	if h == 0 {
+		// Infer a square spatial size from the element count.
+		side := 1
+		for side*side*c.InC < inElems {
+			side++
+		}
+		h, w = side, side
+	}
+	oh := tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	flops := 2 * c.OutC * c.InC * c.KH * c.KW * oh * ow
+	return flops, c.OutC * oh * ow
+}

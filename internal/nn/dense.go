@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape [out, in].
+type Dense struct {
+	In, Out int
+	Weight  *Param // [out, in]
+	Bias    *Param // [out]
+
+	x *tensor.Tensor // cached input [batch, in]
+}
+
+// NewDense creates a dense layer with He initialization.
+func NewDense(rng *tensor.RNG, in, out int) *Dense {
+	d := &Dense{
+		In:     in,
+		Out:    out,
+		Weight: NewParam("dense.w", out, in),
+		Bias:   NewParam("dense.b", out),
+	}
+	rng.FillHe(d.Weight.W, in)
+	return d
+}
+
+// Forward computes y[b,o] = Σ_i x[b,i]·W[o,i] + bias[o].
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("Dense", x, 2)
+	batch := x.Dim(0)
+	d.x = x
+	y := tensor.New(batch, d.Out)
+	// y = x · Wᵀ
+	tensor.Gemm(false, true, batch, d.Out, d.In, 1, x.Data, d.Weight.W.Data, 0, y.Data)
+	for b := 0; b < batch; b++ {
+		row := y.Row(b)
+		for o, bv := range d.Bias.W.Data {
+			row[o] += bv
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = gradᵀ·x, db = Σ grad, and returns dx = grad·W.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch := grad.Dim(0)
+	// dW[o,i] += Σ_b grad[b,o]·x[b,i]  => gradᵀ · x
+	tensor.Gemm(true, false, d.Out, d.In, batch, 1, grad.Data, d.x.Data, 1, d.Weight.G.Data)
+	for b := 0; b < batch; b++ {
+		row := grad.Row(b)
+		for o, gv := range row {
+			d.Bias.G.Data[o] += gv
+		}
+	}
+	dx := tensor.New(batch, d.In)
+	// dx = grad · W
+	tensor.Gemm(false, false, batch, d.In, d.Out, 1, grad.Data, d.Weight.W.Data, 0, dx.Data)
+	return dx
+}
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Cost reports 2·in·out FLOPs per sample and out activations.
+func (d *Dense) Cost(inElems int) (int, int) {
+	return 2 * d.In * d.Out, d.Out
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestForwardDeterministicAcrossParallelism pins the README claim: forward
+// passes are bit-identical whatever the worker count (each output element is
+// computed by exactly one goroutine in a fixed order), and a full training
+// step is bit-identical across repeated runs at a fixed worker count.
+// Backward weight-gradient reductions may differ in the last float32 bit
+// BETWEEN worker counts (different partial-sum groupings), which is why the
+// cross-worker check covers the forward pass only.
+func TestForwardDeterministicAcrossParallelism(t *testing.T) {
+	build := func() (*Sequential, *tensor.Tensor) {
+		rng := tensor.NewRNG(77)
+		m := NewSequential(
+			NewConv2D(rng, 3, 16, 3, 1, 1),
+			NewBatchNorm(16),
+			NewReLU(),
+			NewMaxPool2D(2, 2),
+			NewConv2D(rng, 16, 24, 3, 2, 1),
+			NewReLU(),
+			NewGlobalAvgPool(),
+			NewDense(rng, 24, 10),
+		)
+		x := tensor.New(8, 3, 16, 16)
+		rng.FillNormal(x, 0, 1)
+		return m, x
+	}
+
+	old := tensor.Parallelism
+	defer func() { tensor.Parallelism = old }()
+
+	// (a) Forward bit-identical across worker counts.
+	var ref []float32
+	for _, workers := range []int{1, 2, 8} {
+		tensor.Parallelism = workers
+		m, x := build()
+		y := m.Forward(x, false)
+		if ref == nil {
+			ref = append([]float32(nil), y.Data...)
+			continue
+		}
+		for i := range ref {
+			if ref[i] != y.Data[i] {
+				t.Fatalf("workers=%d: forward diverges at %d", workers, i)
+			}
+		}
+	}
+
+	// (b) A full training step is bit-identical across repeated runs at a
+	// fixed worker count.
+	tensor.Parallelism = 4
+	var refGrads []float32
+	for run := 0; run < 2; run++ {
+		m, x := build()
+		y := m.Forward(x, true)
+		labels := make([]int, 8)
+		for i := range labels {
+			labels[i] = i % 10
+		}
+		_, grad := SoftmaxCrossEntropy(y, labels)
+		m.Backward(grad)
+		var gr []float32
+		for _, p := range m.Params() {
+			gr = append(gr, p.G.Data...)
+		}
+		if refGrads == nil {
+			refGrads = gr
+			continue
+		}
+		for i := range refGrads {
+			if refGrads[i] != gr[i] {
+				t.Fatalf("repeated run: gradients diverge at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// AvgPool2D is 2-D average pooling over [batch, C, H, W] tensors.
+type AvgPool2D struct {
+	Size, Stride int
+	inShape      []int
+}
+
+// NewAvgPool2D creates an average pooling layer.
+func NewAvgPool2D(size, stride int) *AvgPool2D {
+	return &AvgPool2D{Size: size, Stride: stride}
+}
+
+// Forward averages each window.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("AvgPool2D", x, 4)
+	batch, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, p.Size, p.Stride, 0)
+	ow := tensor.ConvOutSize(w, p.Size, p.Stride, 0)
+	p.inShape = x.Shape()
+	y := tensor.New(batch, c, oh, ow)
+	planeIn, planeOut := h*w, oh*ow
+	for bc := 0; bc < batch*c; bc++ {
+		in := x.Data[bc*planeIn : (bc+1)*planeIn]
+		out := y.Data[bc*planeOut : (bc+1)*planeOut]
+		i := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float32
+				count := 0
+				for ky := 0; ky < p.Size; ky++ {
+					sy := oy*p.Stride + ky
+					if sy >= h {
+						break
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						sx := ox*p.Stride + kx
+						if sx >= w {
+							break
+						}
+						sum += in[sy*w+sx]
+						count++
+					}
+				}
+				out[i] = sum / float32(count)
+				i++
+			}
+		}
+	}
+	return y
+}
+
+// Backward spreads each gradient uniformly over its window.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	batch, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	planeIn, planeOut := h*w, oh*ow
+	for bc := 0; bc < batch*c; bc++ {
+		g := grad.Data[bc*planeOut : (bc+1)*planeOut]
+		d := dx.Data[bc*planeIn : (bc+1)*planeIn]
+		i := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				// Recompute window size for edge windows.
+				count := 0
+				for ky := 0; ky < p.Size; ky++ {
+					if oy*p.Stride+ky >= h {
+						break
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						if ox*p.Stride+kx >= w {
+							break
+						}
+						count++
+					}
+				}
+				share := g[i] / float32(count)
+				for ky := 0; ky < p.Size; ky++ {
+					sy := oy*p.Stride + ky
+					if sy >= h {
+						break
+					}
+					for kx := 0; kx < p.Size; kx++ {
+						sx := ox*p.Stride + kx
+						if sx >= w {
+							break
+						}
+						d[sy*w+sx] += share
+					}
+				}
+				i++
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Cost reports one FLOP per input element.
+func (p *AvgPool2D) Cost(inElems int) (int, int) {
+	return inElems, inElems / (p.Stride * p.Stride)
+}
+
+// LayerNorm normalizes each sample's feature vector (rank-2 [batch, feat])
+// to zero mean and unit variance with learnable scale/shift. Unlike
+// BatchNorm it has no batch-statistics coupling, which makes it the safer
+// choice inside modules that see tiny routed sub-batches.
+type LayerNorm struct {
+	Feat  int
+	Eps   float32
+	Gamma *Param
+	Beta  *Param
+
+	xhat   *tensor.Tensor
+	invStd []float32
+}
+
+// NewLayerNorm creates a layer normalization over feat features.
+func NewLayerNorm(feat int) *LayerNorm {
+	ln := &LayerNorm{
+		Feat:  feat,
+		Eps:   1e-5,
+		Gamma: NewParam("ln.gamma", feat),
+		Beta:  NewParam("ln.beta", feat),
+	}
+	ln.Gamma.W.Fill(1)
+	return ln
+}
+
+// Forward normalizes each row independently.
+func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank("LayerNorm", x, 2)
+	batch := x.Dim(0)
+	y := tensor.New(batch, ln.Feat)
+	ln.xhat = tensor.New(batch, ln.Feat)
+	if len(ln.invStd) != batch {
+		ln.invStd = make([]float32, batch)
+	}
+	for b := 0; b < batch; b++ {
+		row := x.Row(b)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(ln.Feat)
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= float64(ln.Feat)
+		inv := float32(1 / math.Sqrt(variance+float64(ln.Eps)))
+		ln.invStd[b] = inv
+		yrow := y.Row(b)
+		xrow := ln.xhat.Row(b)
+		for f, v := range row {
+			xh := (v - float32(mean)) * inv
+			xrow[f] = xh
+			yrow[f] = ln.Gamma.W.Data[f]*xh + ln.Beta.W.Data[f]
+		}
+	}
+	return y
+}
+
+// Backward implements the per-row layernorm gradient.
+func (ln *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch := grad.Dim(0)
+	n := float32(ln.Feat)
+	dx := tensor.New(batch, ln.Feat)
+	for b := 0; b < batch; b++ {
+		grow := grad.Row(b)
+		xrow := ln.xhat.Row(b)
+		// Accumulate param grads and the row sums the dx formula needs.
+		var sumG, sumGX float64
+		for f, g := range grow {
+			ln.Gamma.G.Data[f] += g * xrow[f]
+			ln.Beta.G.Data[f] += g
+			gg := float64(g) * float64(ln.Gamma.W.Data[f])
+			sumG += gg
+			sumGX += gg * float64(xrow[f])
+		}
+		drow := dx.Row(b)
+		for f, g := range grow {
+			gg := g * ln.Gamma.W.Data[f]
+			drow[f] = ln.invStd[b] / n * (n*gg - float32(sumG) - xrow[f]*float32(sumGX))
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// Cost reports ~5 FLOPs per element.
+func (ln *LayerNorm) Cost(inElems int) (int, int) { return 5 * inElems, inElems }

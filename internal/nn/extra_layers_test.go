@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAvgPoolForwardKnownValues(t *testing.T) {
+	p := NewAvgPool2D(2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 1, 2, 3,
+		1, 1, 4, 4,
+	}, 1, 1, 4, 4)
+	y := p.Forward(x, false)
+	want := []float32{2.5, 6.5, 3, 3.25}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("AvgPool = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	gradCheck(t, "AvgPool", NewAvgPool2D(2, 2), []int{2, 2, 6, 6}, 41)
+}
+
+func TestAvgPoolRaggedEdges(t *testing.T) {
+	// 5×5 input, size-2 stride-2: edge windows are 2×1/1×2/1×1 and must
+	// average over their true counts.
+	p := NewAvgPool2D(2, 2)
+	x := tensor.New(1, 1, 5, 5)
+	x.Fill(2)
+	y := p.Forward(x, false)
+	for _, v := range y.Data {
+		if math.Abs(float64(v)-2) > 1e-6 {
+			t.Fatalf("edge window average %v, want 2", v)
+		}
+	}
+	// Gradient conservation: Σ dx == Σ dy.
+	g := tensor.New(y.Shape()...)
+	g.Fill(1)
+	dx := p.Backward(g)
+	if math.Abs(dx.Sum()-g.Sum()) > 1e-4 {
+		t.Fatalf("avg-pool gradient not conserved: %v vs %v", dx.Sum(), g.Sum())
+	}
+}
+
+func TestLayerNormNormalizesRows(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	ln := NewLayerNorm(16)
+	x := tensor.New(4, 16)
+	rng.FillNormal(x, 5, 3)
+	y := ln.Forward(x, true)
+	for b := 0; b < 4; b++ {
+		row := y.Row(b)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= 16
+		var variance float64
+		for _, v := range row {
+			d := float64(v) - mean
+			variance += d * d
+		}
+		variance /= 16
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("row %d not normalized: mean=%v var=%v", b, mean, variance)
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	gradCheck(t, "LayerNorm", NewLayerNorm(7), []int{5, 7}, 42)
+}
+
+func TestLayerNormIndependentOfOtherRows(t *testing.T) {
+	// Changing one sample must not change another's output (no batch
+	// coupling — the property that distinguishes it from BatchNorm).
+	rng := tensor.NewRNG(2)
+	ln := NewLayerNorm(8)
+	x := tensor.New(2, 8)
+	rng.FillNormal(x, 0, 1)
+	y1 := ln.Forward(x, true).Clone()
+	for i := 0; i < 8; i++ {
+		x.Set(x.At(1, i)+5, 1, i)
+	}
+	y2 := ln.Forward(x, true)
+	for i := 0; i < 8; i++ {
+		if y1.At(0, i) != y2.At(0, i) {
+			t.Fatal("row 0 output changed when row 1 changed")
+		}
+	}
+}

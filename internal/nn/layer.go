@@ -1,0 +1,76 @@
+// Package nn is a minimal layer-based neural network stack: explicit
+// forward/backward per layer, parameter objects shared with optimizers, and
+// resource-cost introspection used by the device simulator. It is the
+// training substrate the Nebula framework (internal/modular, internal/fed)
+// builds on.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator. Optimizers hold
+// per-Param state keyed by pointer identity.
+type Param struct {
+	Name string
+	W    *tensor.Tensor // weights
+	G    *tensor.Tensor // accumulated gradient, same shape as W
+}
+
+// NewParam allocates a parameter and its gradient with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), G: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// NumEl returns the number of scalar weights.
+func (p *Param) NumEl() int { return p.W.Len() }
+
+// Layer is one differentiable stage. Forward consumes a batch-first input
+// tensor and returns the output; Backward consumes dLoss/dOutput and returns
+// dLoss/dInput, accumulating parameter gradients into Params().
+//
+// Layers cache whatever they need between Forward and Backward, so a layer
+// instance must not be shared across concurrent batches.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Coster is implemented by layers that can report their resource cost; the
+// device simulator uses it to estimate latency and memory (Figures 1b, 2, 8,
+// 9 of the paper).
+type Coster interface {
+	// Cost returns per-sample forward FLOPs and the activation element count
+	// produced, given the input element count per sample.
+	Cost(inElems int) (flops, outElems int)
+}
+
+// ParamCount sums the scalar parameters of a set of layers.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.NumEl()
+	}
+	return n
+}
+
+// ZeroGrads clears all gradients in params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// checkRank panics with a descriptive message when a layer receives input of
+// an unexpected rank.
+func checkRank(layer string, x *tensor.Tensor, rank int) {
+	if x.Rank() != rank {
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", layer, rank, x.Shape()))
+	}
+}

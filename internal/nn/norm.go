@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes activations per feature (rank-2 input [batch, feat])
+// or per channel (rank-4 input [batch, C, H, W]), with learnable scale/shift
+// and running statistics for inference.
+type BatchNorm struct {
+	Feat     int
+	Eps      float32
+	Momentum float32 // running-stat update rate, e.g. 0.1
+
+	Gamma *Param // [feat]
+	Beta  *Param // [feat]
+
+	RunMean *tensor.Tensor // [feat] running mean (not trained)
+	RunVar  *tensor.Tensor // [feat] running variance
+
+	// caches for backward
+	xhat    *tensor.Tensor
+	invStd  []float32
+	shape   []int
+	perFeat int // elements per feature per batch (batch*H*W for conv)
+}
+
+// NewBatchNorm creates a batch normalization layer over feat features or
+// channels.
+func NewBatchNorm(feat int) *BatchNorm {
+	bn := &BatchNorm{
+		Feat:     feat,
+		Eps:      1e-5,
+		Momentum: 0.1,
+		Gamma:    NewParam("bn.gamma", feat),
+		Beta:     NewParam("bn.beta", feat),
+		RunMean:  tensor.New(feat),
+		RunVar:   tensor.New(feat),
+	}
+	bn.Gamma.W.Fill(1)
+	bn.RunVar.Fill(1)
+	return bn
+}
+
+// featureIndexers returns iteration geometry: the number of groups (batch for
+// rank-2, batch for rank-4), spatial size per feature, and stride layout.
+func (bn *BatchNorm) geometry(x *tensor.Tensor) (batch, spatial int) {
+	switch x.Rank() {
+	case 2:
+		return x.Dim(0), 1
+	case 4:
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
+	default:
+		panic("nn: BatchNorm expects rank-2 or rank-4 input")
+	}
+}
+
+// Forward normalizes with batch statistics (training) or running statistics
+// (inference).
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch, spatial := bn.geometry(x)
+	n := batch * spatial
+	bn.shape = x.Shape()
+	y := x.Clone()
+	if bn.invStd == nil || len(bn.invStd) != bn.Feat {
+		bn.invStd = make([]float32, bn.Feat)
+	}
+
+	mean := make([]float64, bn.Feat)
+	variance := make([]float64, bn.Feat)
+	if train {
+		bn.forEach(x, func(f int, v float32) { mean[f] += float64(v) })
+		for f := range mean {
+			mean[f] /= float64(n)
+		}
+		bn.forEach(x, func(f int, v float32) {
+			d := float64(v) - mean[f]
+			variance[f] += d * d
+		})
+		for f := range variance {
+			variance[f] /= float64(n)
+		}
+		for f := 0; f < bn.Feat; f++ {
+			bn.RunMean.Data[f] = (1-bn.Momentum)*bn.RunMean.Data[f] + bn.Momentum*float32(mean[f])
+			bn.RunVar.Data[f] = (1-bn.Momentum)*bn.RunVar.Data[f] + bn.Momentum*float32(variance[f])
+		}
+	} else {
+		for f := 0; f < bn.Feat; f++ {
+			mean[f] = float64(bn.RunMean.Data[f])
+			variance[f] = float64(bn.RunVar.Data[f])
+		}
+	}
+	for f := 0; f < bn.Feat; f++ {
+		bn.invStd[f] = float32(1 / math.Sqrt(variance[f]+float64(bn.Eps)))
+	}
+	bn.xhat = tensor.New(x.Shape()...)
+	bn.mapEach(x, y, func(f int, v float32, i int) float32 {
+		xh := (v - float32(mean[f])) * bn.invStd[f]
+		bn.xhat.Data[i] = xh
+		return bn.Gamma.W.Data[f]*xh + bn.Beta.W.Data[f]
+	})
+	bn.perFeat = n
+	return y
+}
+
+// Backward implements the standard batchnorm gradient.
+func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := float32(bn.perFeat)
+	dgamma := make([]float64, bn.Feat)
+	dbeta := make([]float64, bn.Feat)
+	bn.forEachIdx(grad, func(f int, g float32, i int) {
+		dgamma[f] += float64(g) * float64(bn.xhat.Data[i])
+		dbeta[f] += float64(g)
+	})
+	for f := 0; f < bn.Feat; f++ {
+		bn.Gamma.G.Data[f] += float32(dgamma[f])
+		bn.Beta.G.Data[f] += float32(dbeta[f])
+	}
+	dx := tensor.New(bn.shape...)
+	bn.forEachIdx(grad, func(f int, g float32, i int) {
+		// dx = gamma*invStd/n * (n*g - dbeta - xhat*dgamma)
+		dx.Data[i] = bn.Gamma.W.Data[f] * bn.invStd[f] / n *
+			(n*g - float32(dbeta[f]) - bn.xhat.Data[i]*float32(dgamma[f]))
+	})
+	return dx
+}
+
+// forEach visits every element with its feature index.
+func (bn *BatchNorm) forEach(x *tensor.Tensor, fn func(f int, v float32)) {
+	bn.forEachIdx(x, func(f int, v float32, _ int) { fn(f, v) })
+}
+
+func (bn *BatchNorm) forEachIdx(x *tensor.Tensor, fn func(f int, v float32, i int)) {
+	if x.Rank() == 2 {
+		feat := x.Dim(1)
+		for i, v := range x.Data {
+			fn(i%feat, v, i)
+		}
+		return
+	}
+	c, spatial := x.Dim(1), x.Dim(2)*x.Dim(3)
+	for i, v := range x.Data {
+		fn((i/spatial)%c, v, i)
+	}
+}
+
+// mapEach writes fn over every element of src into dst.
+func (bn *BatchNorm) mapEach(src, dst *tensor.Tensor, fn func(f int, v float32, i int) float32) {
+	if src.Rank() == 2 {
+		feat := src.Dim(1)
+		for i, v := range src.Data {
+			dst.Data[i] = fn(i%feat, v, i)
+		}
+		return
+	}
+	c, spatial := src.Dim(1), src.Dim(2)*src.Dim(3)
+	for i, v := range src.Data {
+		dst.Data[i] = fn((i/spatial)%c, v, i)
+	}
+}
+
+// Params returns gamma and beta. Running statistics are state, not
+// parameters; they are transferred by the serialization helpers instead.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// Cost reports ~4 FLOPs per element.
+func (bn *BatchNorm) Cost(inElems int) (int, int) { return 4 * inElems, inElems }

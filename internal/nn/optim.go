@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and clears
+// the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	LR          float32
+	Momentum    float32
+	WeightDecay float32
+	velocity    map[*Param]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, velocity: map[*Param]*tensor.Tensor{}}
+}
+
+// Step applies one update and zeroes gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.G
+		if s.WeightDecay != 0 {
+			g.AddScaled(s.WeightDecay, p.W)
+		}
+		if s.Momentum != 0 {
+			v := s.velocity[p]
+			if v == nil {
+				v = tensor.New(p.W.Shape()...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.Add(g)
+			p.W.AddScaled(-s.LR, v)
+		} else {
+			p.W.AddScaled(-s.LR, g)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	WeightDecay           float32
+	t                     int
+	m, v                  map[*Param]*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the moment
+// coefficients.
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*tensor.Tensor{}, v: map[*Param]*tensor.Tensor{}}
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range params {
+		g := p.G
+		if a.WeightDecay != 0 {
+			g.AddScaled(a.WeightDecay, p.W)
+		}
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = tensor.New(p.W.Shape()...)
+			v = tensor.New(p.W.Shape()...)
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, gv := range g.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gv
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gv*gv
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mhat / (float32(math.Sqrt(float64(vhat))) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm. Returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		n := p.G.Norm()
+		total += n * n
+	}
+	total = math.Sqrt(total)
+	if total > maxNorm && total > 0 {
+		scale := float32(maxNorm / total)
+		for _, p := range params {
+			p.G.Scale(scale)
+		}
+	}
+	return total
+}

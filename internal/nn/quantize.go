@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Quantized8 is an 8-bit affine quantization of a float32 vector:
+// value ≈ Min + Scale·code. It cuts parameter-transfer bytes by ~4× at a
+// bounded per-element error of Scale/2 — an optional communication
+// optimization for the edge-cloud protocol.
+type Quantized8 struct {
+	Min   float32
+	Scale float32
+	Codes []byte
+}
+
+// Quantize8 encodes vec with per-tensor affine 8-bit quantization.
+func Quantize8(vec []float32) Quantized8 {
+	if len(vec) == 0 {
+		return Quantized8{}
+	}
+	lo, hi := vec[0], vec[0]
+	for _, v := range vec {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := (hi - lo) / 255
+	if scale <= 0 {
+		scale = 1 // constant vector; all codes 0
+	}
+	q := Quantized8{Min: lo, Scale: scale, Codes: make([]byte, len(vec))}
+	inv := 1 / scale
+	for i, v := range vec {
+		c := math.Round(float64((v - lo) * inv))
+		if c < 0 {
+			c = 0
+		}
+		if c > 255 {
+			c = 255
+		}
+		q.Codes[i] = byte(c)
+	}
+	return q
+}
+
+// Dequantize8 decodes back to float32s.
+func (q Quantized8) Dequantize8() []float32 {
+	out := make([]float32, len(q.Codes))
+	for i, c := range q.Codes {
+		out[i] = q.Min + q.Scale*float32(c)
+	}
+	return out
+}
+
+// MaxError returns the worst-case reconstruction error (half a step).
+func (q Quantized8) MaxError() float32 { return q.Scale / 2 }
+
+// WireBytes returns the serialized size: header (8 bytes) + one byte per
+// element.
+func (q Quantized8) WireBytes() int64 { return 8 + int64(len(q.Codes)) }
+
+// Marshal serializes to a compact binary form.
+func (q Quantized8) Marshal() []byte {
+	out := make([]byte, 8+len(q.Codes))
+	binary.LittleEndian.PutUint32(out[0:], math.Float32bits(q.Min))
+	binary.LittleEndian.PutUint32(out[4:], math.Float32bits(q.Scale))
+	copy(out[8:], q.Codes)
+	return out
+}
+
+// UnmarshalQuantized8 parses Marshal output.
+func UnmarshalQuantized8(data []byte) (Quantized8, error) {
+	if len(data) < 8 {
+		return Quantized8{}, fmt.Errorf("nn: quantized payload too short (%d bytes)", len(data))
+	}
+	q := Quantized8{
+		Min:   math.Float32frombits(binary.LittleEndian.Uint32(data[0:])),
+		Scale: math.Float32frombits(binary.LittleEndian.Uint32(data[4:])),
+		Codes: append([]byte(nil), data[8:]...),
+	}
+	return q, nil
+}
+
+// QuantizeChunks quantizes vec in fixed-size chunks (per-chunk min/scale),
+// trading a little header overhead for much lower error on vectors whose
+// ranges vary across regions (e.g. different layers concatenated).
+func QuantizeChunks(vec []float32, chunk int) []Quantized8 {
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	var out []Quantized8
+	for start := 0; start < len(vec); start += chunk {
+		end := start + chunk
+		if end > len(vec) {
+			end = len(vec)
+		}
+		out = append(out, Quantize8(vec[start:end]))
+	}
+	return out
+}
+
+// DequantizeChunks reverses QuantizeChunks.
+func DequantizeChunks(chunks []Quantized8) []float32 {
+	var out []float32
+	for _, q := range chunks {
+		out = append(out, q.Dequantize8()...)
+	}
+	return out
+}

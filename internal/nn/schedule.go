@@ -1,0 +1,143 @@
+package nn
+
+import "math"
+
+// LRSchedule maps a step index to a learning-rate multiplier; optimizers'
+// base LR is scaled by it. Schedules are pure functions so they can be
+// shared across optimizers and serialized as configuration.
+type LRSchedule interface {
+	// Factor returns the LR multiplier at the given 0-based step.
+	Factor(step int) float64
+}
+
+// ConstantLR keeps the multiplier at 1.
+type ConstantLR struct{}
+
+// Factor returns 1.
+func (ConstantLR) Factor(int) float64 { return 1 }
+
+// StepLR multiplies the LR by Gamma every StepSize steps.
+type StepLR struct {
+	StepSize int
+	Gamma    float64
+}
+
+// Factor returns Gamma^(step/StepSize).
+func (s StepLR) Factor(step int) float64 {
+	if s.StepSize <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(step/s.StepSize))
+}
+
+// CosineLR anneals the multiplier from 1 to MinFactor over Total steps and
+// holds MinFactor afterwards.
+type CosineLR struct {
+	Total     int
+	MinFactor float64
+}
+
+// Factor returns the cosine-annealed multiplier.
+func (c CosineLR) Factor(step int) float64 {
+	if c.Total <= 0 || step >= c.Total {
+		return c.MinFactor
+	}
+	cos := 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(c.Total)))
+	return c.MinFactor + (1-c.MinFactor)*cos
+}
+
+// WarmupLR ramps linearly from 0 to 1 over Warmup steps, then delegates to
+// Then (ConstantLR if nil).
+type WarmupLR struct {
+	Warmup int
+	Then   LRSchedule
+}
+
+// Factor returns the warmup-adjusted multiplier.
+func (w WarmupLR) Factor(step int) float64 {
+	if step < w.Warmup && w.Warmup > 0 {
+		return float64(step+1) / float64(w.Warmup)
+	}
+	if w.Then == nil {
+		return 1
+	}
+	return w.Then.Factor(step - w.Warmup)
+}
+
+// ScheduledSGD wraps SGD with a schedule; Step advances the schedule.
+type ScheduledSGD struct {
+	SGD      *SGD
+	Schedule LRSchedule
+	baseLR   float32
+	step     int
+}
+
+// NewScheduledSGD builds a scheduled SGD optimizer.
+func NewScheduledSGD(sgd *SGD, sched LRSchedule) *ScheduledSGD {
+	return &ScheduledSGD{SGD: sgd, Schedule: sched, baseLR: sgd.LR}
+}
+
+// Step applies one update at the scheduled LR.
+func (s *ScheduledSGD) Step(params []*Param) {
+	s.SGD.LR = s.baseLR * float32(s.Schedule.Factor(s.step))
+	s.step++
+	s.SGD.Step(params)
+}
+
+// SmoothedCrossEntropy is softmax cross-entropy with label smoothing: the
+// target distribution puts 1−ε on the true class and ε/(K−1) on the rest.
+// Returns mean loss and the logit gradient (divided by batch size).
+func SmoothedCrossEntropy(logits interface {
+	Dim(int) int
+	Row(int) []float32
+}, labels []int, eps float32) (float64, [][]float32) {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	if len(labels) != batch {
+		panic("nn: label count does not match batch size")
+	}
+	off := eps / float32(classes-1)
+	on := 1 - eps
+	grads := make([][]float32, batch)
+	var loss float64
+	probs := make([]float32, classes)
+	for b := 0; b < batch; b++ {
+		row := logits.Row(b)
+		softmaxInto(probs, row)
+		g := make([]float32, classes)
+		for c := 0; c < classes; c++ {
+			target := off
+			if c == labels[b] {
+				target = on
+			}
+			p := float64(probs[c])
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= float64(target) * math.Log(p)
+			g[c] = (probs[c] - target) / float32(batch)
+		}
+		grads[b] = g
+	}
+	return loss / float64(batch), grads
+}
+
+// softmaxInto is a local stable softmax (mirrors tensor.Softmax without the
+// import cycle risk in future refactors).
+func softmaxInto(dst, src []float32) {
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - m))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestStepLRDecays(t *testing.T) {
+	s := StepLR{StepSize: 10, Gamma: 0.5}
+	if s.Factor(0) != 1 || s.Factor(9) != 1 {
+		t.Fatal("no decay before first boundary")
+	}
+	if s.Factor(10) != 0.5 || s.Factor(25) != 0.25 {
+		t.Fatalf("decay wrong: %v %v", s.Factor(10), s.Factor(25))
+	}
+	if (StepLR{}).Factor(100) != 1 {
+		t.Fatal("zero step size must be constant")
+	}
+}
+
+func TestCosineLREndpoints(t *testing.T) {
+	c := CosineLR{Total: 100, MinFactor: 0.1}
+	if math.Abs(c.Factor(0)-1) > 1e-9 {
+		t.Fatalf("start factor %v", c.Factor(0))
+	}
+	if math.Abs(c.Factor(100)-0.1) > 1e-9 || math.Abs(c.Factor(500)-0.1) > 1e-9 {
+		t.Fatal("must hold MinFactor at/after Total")
+	}
+	mid := c.Factor(50)
+	if mid < 0.5 || mid > 0.6 {
+		t.Fatalf("midpoint %v, want ≈0.55", mid)
+	}
+	// Monotone decreasing.
+	prev := 2.0
+	for s := 0; s <= 100; s += 5 {
+		f := c.Factor(s)
+		if f > prev {
+			t.Fatal("cosine schedule must decrease")
+		}
+		prev = f
+	}
+}
+
+func TestWarmupLRRamp(t *testing.T) {
+	w := WarmupLR{Warmup: 4, Then: StepLR{StepSize: 2, Gamma: 0.5}}
+	if w.Factor(0) != 0.25 || w.Factor(3) != 1 {
+		t.Fatalf("warmup ramp wrong: %v %v", w.Factor(0), w.Factor(3))
+	}
+	// After warmup, delegate with shifted step.
+	if w.Factor(4) != 1 || w.Factor(6) != 0.5 {
+		t.Fatalf("delegation wrong: %v %v", w.Factor(4), w.Factor(6))
+	}
+	if (WarmupLR{Warmup: 2}).Factor(5) != 1 {
+		t.Fatal("nil Then should be constant")
+	}
+}
+
+func TestScheduledSGDAppliesFactor(t *testing.T) {
+	p := NewParam("w", 1)
+	p.W.Data[0] = 0
+	sgd := NewSGD(1.0, 0, 0)
+	sch := NewScheduledSGD(sgd, StepLR{StepSize: 1, Gamma: 0.5})
+	// Step 0: lr 1.0; step 1: lr 0.5; step 2: lr 0.25 — gradient fixed at 1.
+	for i := 0; i < 3; i++ {
+		p.G.Data[0] = 1
+		sch.Step([]*Param{p})
+	}
+	want := -(1.0 + 0.5 + 0.25)
+	if math.Abs(float64(p.W.Data[0])-want) > 1e-6 {
+		t.Fatalf("scheduled updates sum %v, want %v", p.W.Data[0], want)
+	}
+}
+
+func TestSmoothedCrossEntropyReducesToCE(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	logits := tensor.New(3, 4)
+	rng.FillNormal(logits, 0, 1)
+	labels := []int{0, 2, 3}
+	l0, g0 := SoftmaxCrossEntropy(logits.Clone(), labels)
+	l1, g1 := SmoothedCrossEntropy(logits, labels, 0)
+	if math.Abs(l0-l1) > 1e-6 {
+		t.Fatalf("eps=0 smoothing loss %v vs CE %v", l1, l0)
+	}
+	for b := 0; b < 3; b++ {
+		for c := 0; c < 4; c++ {
+			if math.Abs(float64(g0.At(b, c)-g1[b][c])) > 1e-6 {
+				t.Fatal("eps=0 smoothing gradient differs from CE")
+			}
+		}
+	}
+}
+
+func TestSmoothedCrossEntropyGradNumeric(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	logits := tensor.New(2, 3)
+	rng.FillNormal(logits, 0, 1)
+	labels := []int{1, 0}
+	const eps = 1e-3
+	_, grad := SmoothedCrossEntropy(logits, labels, 0.2)
+	for i := 0; i < logits.Len(); i++ {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SmoothedCrossEntropy(logits, labels, 0.2)
+		logits.Data[i] = orig - eps
+		lm, _ := SmoothedCrossEntropy(logits, labels, 0.2)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		ana := float64(grad[i/3][i%3])
+		if math.Abs(num-ana) > 1e-3 {
+			t.Fatalf("smoothed CE grad[%d]: analytic %v vs numeric %v", i, ana, num)
+		}
+	}
+}

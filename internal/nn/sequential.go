@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) {
+	s.Layers = append(s.Layers, layers...)
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params concatenates the parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Cost sums layer costs, threading activation sizes through the chain.
+func (s *Sequential) Cost(inElems int) (int, int) {
+	total := 0
+	for _, l := range s.Layers {
+		if c, ok := l.(Coster); ok {
+			f, out := c.Cost(inElems)
+			total += f
+			if out > 0 {
+				inElems = out
+			}
+		}
+	}
+	return total, inElems
+}
+
+// Residual wraps a body with an identity (or projected) skip connection:
+// y = body(x) + proj(x). Proj may be nil for a pure identity skip; it is
+// required when the body changes the tensor shape.
+type Residual struct {
+	Body Layer
+	Proj Layer // optional 1x1-conv/linear projection for shape changes
+}
+
+// NewResidual builds a residual block around body.
+func NewResidual(body Layer, proj Layer) *Residual {
+	return &Residual{Body: body, Proj: proj}
+}
+
+// Forward computes body(x) + skip(x).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	var skip *tensor.Tensor
+	if r.Proj != nil {
+		skip = r.Proj.Forward(x, train)
+	} else {
+		skip = x
+	}
+	out := y.Clone()
+	out.Add(skip)
+	return out
+}
+
+// Backward splits the gradient between the body and the skip path.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dxBody := r.Body.Backward(grad)
+	var dxSkip *tensor.Tensor
+	if r.Proj != nil {
+		dxSkip = r.Proj.Backward(grad)
+	} else {
+		dxSkip = grad
+	}
+	dx := dxBody.Clone()
+	dx.Add(dxSkip)
+	return dx
+}
+
+// Params returns body plus projection parameters.
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Proj != nil {
+		ps = append(ps, r.Proj.Params()...)
+	}
+	return ps
+}
+
+// Cost sums body and projection costs.
+func (r *Residual) Cost(inElems int) (int, int) {
+	f, out := 0, inElems
+	if c, ok := r.Body.(Coster); ok {
+		f, out = c.Cost(inElems)
+	}
+	if r.Proj != nil {
+		if c, ok := r.Proj.(Coster); ok {
+			pf, _ := c.Cost(inElems)
+			f += pf
+		}
+	}
+	return f + out, out // +out for the addition
+}
+
+// Identity passes input through unchanged. Used as a residual/bypass module
+// in module layers.
+type Identity struct{}
+
+// NewIdentity returns the identity layer.
+func NewIdentity() *Identity { return &Identity{} }
+
+// Forward returns x.
+func (Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward returns grad.
+func (Identity) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params returns nil.
+func (Identity) Params() []*Param { return nil }
+
+// Cost reports zero FLOPs.
+func (Identity) Cost(inElems int) (int, int) { return 0, inElems }

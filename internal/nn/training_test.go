@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// spiralBatch generates a 2-class two-moons-ish problem that a small MLP can
+// fit but a linear model cannot.
+func spiralBatch(rng *tensor.RNG, n int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(2)
+		labels[i] = c
+		r := rng.Float64()*2 + 0.3
+		theta := rng.Float64()*3 + float64(c)*3
+		x.Set(float32(r*cosApprox(theta))+float32(rng.NormFloat64()*0.05), i, 0)
+		x.Set(float32(r*sinApprox(theta))+float32(rng.NormFloat64()*0.05), i, 1)
+	}
+	return x, labels
+}
+
+func cosApprox(t float64) float64 { return math.Cos(t) }
+func sinApprox(t float64) float64 { return math.Sin(t) }
+
+func TestMLPTrainsNonlinearProblem(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	model := NewMLP(rng, 2, []int{32, 32}, 2, 1.0)
+	opt := NewAdam(0.01)
+	for step := 0; step < 400; step++ {
+		x, y := spiralBatch(rng, 64)
+		logits := model.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(logits, y)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	x, y := spiralBatch(rng, 512)
+	acc := Accuracy(model.Forward(x, false), y)
+	if acc < 0.9 {
+		t.Fatalf("MLP failed to learn spiral: accuracy %.3f", acc)
+	}
+}
+
+func TestConvNetTrainsImageClasses(t *testing.T) {
+	// Tiny image task: class-dependent spatial patterns; a conv net should
+	// reach high accuracy quickly.
+	rng := tensor.NewRNG(7)
+	classes := 4
+	proto := make([]*tensor.Tensor, classes)
+	for c := range proto {
+		proto[c] = tensor.New(1, 8, 8)
+		rng.FillNormal(proto[c], 0, 1)
+	}
+	sample := func(n int) (*tensor.Tensor, []int) {
+		x := tensor.New(n, 1, 8, 8)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := rng.Intn(classes)
+			y[i] = c
+			base := i * 64
+			for j := 0; j < 64; j++ {
+				x.Data[base+j] = proto[c].Data[j] + float32(rng.NormFloat64()*0.3)
+			}
+		}
+		return x, y
+	}
+	model := NewSequential(
+		NewConv2D(rng, 1, 8, 3, 1, 1),
+		NewBatchNorm(8),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(rng, 8*4*4, classes),
+	)
+	opt := NewAdam(0.005)
+	for step := 0; step < 120; step++ {
+		x, y := sample(32)
+		logits := model.Forward(x, true)
+		_, grad := SoftmaxCrossEntropy(logits, y)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	x, y := sample(256)
+	acc := Accuracy(model.Forward(x, false), y)
+	if acc < 0.9 {
+		t.Fatalf("conv net failed to learn: accuracy %.3f", acc)
+	}
+}
+
+func TestResNetBlockTrainsWithoutNaN(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	model := NewResNetLike(rng, 1, 8, []int{4, 8}, 3, 1.0)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	for step := 0; step < 30; step++ {
+		x := tensor.New(8, 1, 8, 8)
+		rng.FillNormal(x, 0, 1)
+		y := make([]int, 8)
+		for i := range y {
+			y[i] = rng.Intn(3)
+		}
+		logits := model.Forward(x, true)
+		if logits.HasNaN() {
+			t.Fatalf("NaN in forward at step %d", step)
+		}
+		_, grad := SoftmaxCrossEntropy(logits, y)
+		model.Backward(grad)
+		ClipGradNorm(model.Params(), 5)
+		opt.Step(model.Params())
+	}
+	for _, p := range model.Params() {
+		if p.W.HasNaN() {
+			t.Fatalf("NaN in parameter %s", p.Name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package solve
+
+import (
+	"sort"
+)
+
+// AssignmentConfig carries the constraints of Eq. 1: LoadCap is κ₁, the
+// maximum summed load a module may take on (M_n ᵀ H_n ≤ κ₁), and
+// MaxModulesPerTask is κ₂, the maximum number of modules a sub-task may
+// activate (Σ_n M_tn ≤ κ₂).
+type AssignmentConfig struct {
+	LoadCap           float64
+	MaxModulesPerTask int
+}
+
+// AssignSubTasks computes the binary mask M maximizing Σ H⊙M under the
+// Eq. 1 constraints. H is the T×N sub-task mapping matrix from end-to-end
+// training (h[t][n] = load of module n in sub-task t). Entries are added
+// greedily in decreasing h order, then improved with pairwise swap local
+// search. Every sub-task is guaranteed at least one module: its best-h entry
+// is seeded first, relaxing the load cap for that single entry if needed.
+func AssignSubTasks(h [][]float64, cfg AssignmentConfig) [][]bool {
+	t := len(h)
+	if t == 0 {
+		return nil
+	}
+	n := len(h[0])
+	mask := make([][]bool, t)
+	for i := range mask {
+		mask[i] = make([]bool, n)
+	}
+	load := make([]float64, n) // per-module accumulated load
+	perTask := make([]int, t)  // modules per sub-task
+	type entry struct{ t, n int }
+
+	// Seed: every sub-task gets its strongest module unconditionally.
+	for ti := 0; ti < t; ti++ {
+		best := 0
+		for ni := 1; ni < n; ni++ {
+			if h[ti][ni] > h[ti][best] {
+				best = ni
+			}
+		}
+		mask[ti][best] = true
+		load[best] += h[ti][best]
+		perTask[ti]++
+	}
+
+	// Greedy fill in decreasing h order.
+	entries := make([]entry, 0, t*n)
+	for ti := 0; ti < t; ti++ {
+		for ni := 0; ni < n; ni++ {
+			if !mask[ti][ni] {
+				entries = append(entries, entry{ti, ni})
+			}
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		return h[entries[a].t][entries[a].n] > h[entries[b].t][entries[b].n]
+	})
+	for _, e := range entries {
+		if h[e.t][e.n] <= 0 {
+			continue
+		}
+		if perTask[e.t] >= cfg.MaxModulesPerTask {
+			continue
+		}
+		if load[e.n]+h[e.t][e.n] > cfg.LoadCap {
+			continue
+		}
+		mask[e.t][e.n] = true
+		load[e.n] += h[e.t][e.n]
+		perTask[e.t]++
+	}
+
+	// Local search: try swapping an assigned entry for a better unassigned
+	// one in the same sub-task (keeps perTask constant, may relieve load).
+	improved := true
+	for pass := 0; pass < 5 && improved; pass++ {
+		improved = false
+		for ti := 0; ti < t; ti++ {
+			for out := 0; out < n; out++ {
+				if !mask[ti][out] {
+					continue
+				}
+				for in := 0; in < n; in++ {
+					if mask[ti][in] || h[ti][in] <= h[ti][out] {
+						continue
+					}
+					if load[in]+h[ti][in] > cfg.LoadCap {
+						continue
+					}
+					// Swap keeps the sub-task covered and raises the objective.
+					mask[ti][out] = false
+					load[out] -= h[ti][out]
+					mask[ti][in] = true
+					load[in] += h[ti][in]
+					improved = true
+					break
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// MaskObjective returns Σ H⊙M, the Eq. 1 objective.
+func MaskObjective(h [][]float64, mask [][]bool) float64 {
+	var v float64
+	for t := range h {
+		for n := range h[t] {
+			if mask[t][n] {
+				v += h[t][n]
+			}
+		}
+	}
+	return v
+}
+
+// MaskStats returns the max per-module load and max modules-per-task of a
+// mask; tests use it to verify constraint satisfaction.
+func MaskStats(h [][]float64, mask [][]bool) (maxLoad float64, maxPerTask int) {
+	if len(h) == 0 {
+		return 0, 0
+	}
+	n := len(h[0])
+	load := make([]float64, n)
+	for t := range h {
+		cnt := 0
+		for ni := range h[t] {
+			if mask[t][ni] {
+				load[ni] += h[t][ni]
+				cnt++
+			}
+		}
+		if cnt > maxPerTask {
+			maxPerTask = cnt
+		}
+	}
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad, maxPerTask
+}

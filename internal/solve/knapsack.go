@@ -1,0 +1,217 @@
+// Package solve implements the two optimization problems Nebula delegates to
+// SciPy/OR-Tools in the paper: the multi-dimensional knapsack behind
+// personalized sub-model derivation (Eq. 2) and the constrained linear
+// assignment behind module ability-enhancing training (Eq. 1). Instances are
+// small (tens of modules), so a greedy construction plus exact
+// branch-and-bound polish is both fast and effectively optimal.
+package solve
+
+import (
+	"math"
+	"sort"
+)
+
+// Item is a candidate for knapsack selection: a value and one cost per
+// resource dimension (communication, computation, memory in the paper).
+type Item struct {
+	Value float64
+	Costs []float64
+}
+
+// feasible reports whether adding item to the current usage stays within
+// budgets.
+func feasible(usage []float64, it Item, budgets []float64) bool {
+	for j, c := range it.Costs {
+		if usage[j]+c > budgets[j]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyKnapsack selects a subset of items maximizing total value subject to
+// per-dimension budgets. forced items are always included (the paper forces
+// the most important module per layer so no module layer ends up empty);
+// their costs are charged first and they are returned even if over budget.
+// Remaining items are added greedily by value per normalized cost.
+func GreedyKnapsack(items []Item, budgets []float64, forced []int) []int {
+	usage := make([]float64, len(budgets))
+	chosen := make([]bool, len(items))
+	var sel []int
+	for _, f := range forced {
+		chosen[f] = true
+		sel = append(sel, f)
+		for j, c := range items[f].Costs {
+			usage[j] += c
+		}
+	}
+	// Normalize costs by budget so dimensions are comparable.
+	density := func(i int) float64 {
+		var d float64
+		for j, c := range items[i].Costs {
+			if budgets[j] > 0 {
+				d += c / budgets[j]
+			} else if c > 0 {
+				return math.Inf(-1) // unusable
+			}
+		}
+		if d <= 0 {
+			return math.Inf(1) // free item
+		}
+		return items[i].Value / d
+	}
+	order := make([]int, 0, len(items))
+	for i := range items {
+		if !chosen[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return density(order[a]) > density(order[b]) })
+	for _, i := range order {
+		if items[i].Value <= 0 {
+			continue
+		}
+		if feasible(usage, items[i], budgets) {
+			chosen[i] = true
+			sel = append(sel, i)
+			for j, c := range items[i].Costs {
+				usage[j] += c
+			}
+		}
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// BranchBoundKnapsack solves the multi-dimensional knapsack exactly (up to
+// maxNodes search nodes, after which it returns the best found — which is at
+// least as good as greedy, used as the incumbent). forced semantics match
+// GreedyKnapsack.
+func BranchBoundKnapsack(items []Item, budgets []float64, forced []int, maxNodes int) []int {
+	greedy := GreedyKnapsack(items, budgets, forced)
+	best := append([]int(nil), greedy...)
+	bestVal := totalValue(items, greedy)
+
+	isForced := make([]bool, len(items))
+	usage := make([]float64, len(budgets))
+	var base float64
+	for _, f := range forced {
+		isForced[f] = true
+		base += items[f].Value
+		for j, c := range items[f].Costs {
+			usage[j] += c
+		}
+	}
+	// Free items (value-sorted) for the fractional upper bound.
+	free := make([]int, 0, len(items))
+	for i := range items {
+		if !isForced[i] {
+			free = append(free, i)
+		}
+	}
+	sort.Slice(free, func(a, b int) bool {
+		return valuePerUnit(items[free[a]], budgets) > valuePerUnit(items[free[b]], budgets)
+	})
+
+	nodes := 0
+	var cur []int
+	var rec func(k int, val float64, usage []float64)
+	rec = func(k int, val float64, usage []float64) {
+		nodes++
+		if nodes > maxNodes {
+			return
+		}
+		if val > bestVal {
+			bestVal = val
+			best = append(append([]int(nil), forced...), cur...)
+		}
+		if k == len(free) {
+			return
+		}
+		// Upper bound: value plus everything remaining (loose but cheap).
+		ub := val
+		for _, i := range free[k:] {
+			if items[i].Value > 0 {
+				ub += items[i].Value
+			}
+		}
+		if ub <= bestVal+1e-12 {
+			return
+		}
+		i := free[k]
+		// Branch: take i if feasible.
+		if items[i].Value > 0 && feasible(usage, items[i], budgets) {
+			for j, c := range items[i].Costs {
+				usage[j] += c
+			}
+			cur = append(cur, i)
+			rec(k+1, val+items[i].Value, usage)
+			cur = cur[:len(cur)-1]
+			for j, c := range items[i].Costs {
+				usage[j] -= c
+			}
+		}
+		// Branch: skip i.
+		rec(k+1, val, usage)
+	}
+	rec(0, base, usage)
+	sort.Ints(best)
+	return best
+}
+
+func totalValue(items []Item, sel []int) float64 {
+	var v float64
+	for _, i := range sel {
+		v += items[i].Value
+	}
+	return v
+}
+
+func valuePerUnit(it Item, budgets []float64) float64 {
+	var d float64
+	for j, c := range it.Costs {
+		if budgets[j] > 0 {
+			d += c / budgets[j]
+		}
+	}
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return it.Value / d
+}
+
+// SelectionValue sums the values of the selected indices; exported for
+// benchmarking solver quality.
+func SelectionValue(items []Item, sel []int) float64 { return totalValue(items, sel) }
+
+// SelectionFeasible reports whether a selection respects the budgets.
+func SelectionFeasible(items []Item, sel []int, budgets []float64, forced []int) bool {
+	isForced := map[int]bool{}
+	for _, f := range forced {
+		isForced[f] = true
+	}
+	usage := make([]float64, len(budgets))
+	for _, i := range sel {
+		for j, c := range items[i].Costs {
+			usage[j] += c
+		}
+	}
+	// Forced items may exceed budgets by construction; only check when the
+	// selection contains non-forced items beyond them.
+	for j := range budgets {
+		if usage[j] > budgets[j]+1e-6 {
+			// Tolerate if removing non-forced items can't help — i.e. the
+			// forced set alone exceeds the budget.
+			var forcedUse float64
+			for _, i := range sel {
+				if isForced[i] {
+					forcedUse += items[i].Costs[j]
+				}
+			}
+			if forcedUse <= budgets[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package tensor
+
+// Im2Col unfolds an input image of shape [channels, height, width] (flat
+// slice src) into a column matrix dst of shape
+// [channels*kh*kw, outH*outW], so that a convolution becomes a single GEMM:
+// out[oc, :] = W[oc, :] · dst. Zero padding pad and stride are applied.
+func Im2Col(src []float32, channels, height, width, kh, kw, stride, pad int, dst []float32) (outH, outW int) {
+	outH = (height+2*pad-kh)/stride + 1
+	outW = (width+2*pad-kw)/stride + 1
+	cols := outH * outW
+	if len(dst) < channels*kh*kw*cols {
+		panic("tensor: Im2Col destination too small")
+	}
+	row := 0
+	for c := 0; c < channels; c++ {
+		chanBase := c * height * width
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				drow := dst[row*cols : row*cols+cols]
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= height {
+						for ox := 0; ox < outW; ox++ {
+							drow[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chanBase + sy*width
+					for ox := 0; ox < outW; ox++ {
+						sx := ox*stride - pad + kx
+						if sx < 0 || sx >= width {
+							drow[i] = 0
+						} else {
+							drow[i] = src[rowBase+sx]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return outH, outW
+}
+
+// Col2Im folds a column-matrix gradient (shape [channels*kh*kw, outH*outW])
+// back into an input-image gradient of shape [channels, height, width],
+// accumulating overlapping contributions. dst must be pre-zeroed by the
+// caller if accumulation from zero is desired.
+func Col2Im(cols []float32, channels, height, width, kh, kw, stride, pad int, dst []float32) {
+	outH := (height+2*pad-kh)/stride + 1
+	outW := (width+2*pad-kw)/stride + 1
+	nc := outH * outW
+	row := 0
+	for c := 0; c < channels; c++ {
+		chanBase := c * height * width
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				crow := cols[row*nc : row*nc+nc]
+				i := 0
+				for oy := 0; oy < outH; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= height {
+						i += outW
+						continue
+					}
+					rowBase := chanBase + sy*width
+					for ox := 0; ox < outW; ox++ {
+						sx := ox*stride - pad + kx
+						if sx >= 0 && sx < width {
+							dst[rowBase+sx] += crow[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution/pooling with
+// the given input size, kernel, stride and padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

@@ -1,0 +1,143 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for rank-2 tensors A [m,k] and B [k,n], returning a
+// new [m,n] tensor. Rows of C are computed in parallel.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.Dim(1)
+	c := New(m, n)
+	Gemm(false, false, m, n, k, 1, a.Data, b.Data, 0, c.Data)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing tensor C of shape [m,n].
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != k || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch c=%v a=%v b=%v", c.shape, a.shape, b.shape))
+	}
+	Gemm(false, false, m, n, k, 1, a.Data, b.Data, 0, c.Data)
+}
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C where op is optional
+// transposition, with A [m,k] (or [k,m] if transA), B [k,n] (or [n,k] if
+// transB) and C [m,n], all row-major flat slices. The m dimension is
+// parallelized. This is the single hot kernel under every Dense and Conv
+// layer.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	if len(c) < m*n {
+		panic("tensor: Gemm output too small")
+	}
+	work := m * n * k
+	body := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			crow := c[i*n : i*n+n]
+			if beta == 0 {
+				for j := range crow {
+					crow[j] = 0
+				}
+			} else if beta != 1 {
+				for j := range crow {
+					crow[j] *= beta
+				}
+			}
+			switch {
+			case !transA && !transB:
+				arow := a[i*k : i*k+k]
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					av *= alpha
+					brow := b[p*n : p*n+n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			case !transA && transB:
+				arow := a[i*k : i*k+k]
+				for j := 0; j < n; j++ {
+					brow := b[j*k : j*k+k]
+					var s float32
+					for p, av := range arow {
+						s += av * brow[p]
+					}
+					crow[j] += alpha * s
+				}
+			case transA && !transB:
+				// A is stored [k,m]; walk column i of A.
+				for p := 0; p < k; p++ {
+					av := a[p*m+i]
+					if av == 0 {
+						continue
+					}
+					av *= alpha
+					brow := b[p*n : p*n+n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			default: // transA && transB
+				for j := 0; j < n; j++ {
+					var s float32
+					for p := 0; p < k; p++ {
+						s += a[p*m+i] * b[j*k+p]
+					}
+					crow[j] += alpha * s
+				}
+			}
+		}
+	}
+	if work < minParallelWork {
+		body(0, m)
+		return
+	}
+	ParallelFor(m, body)
+}
+
+// MatVec computes y = A·x for A [m,n] and x length n, writing into y length m.
+func MatVec(a *Tensor, x, y []float32) {
+	m, n := a.Dim(0), a.Dim(1)
+	if len(x) != n || len(y) != m {
+		panic("tensor: MatVec size mismatch")
+	}
+	Gemm(false, false, m, 1, n, 1, a.Data, x, 0, y)
+}
+
+// Transpose returns a new tensor with the two dimensions of a rank-2 tensor
+// swapped.
+func Transpose(a *Tensor) *Tensor {
+	m, n := a.Dim(0), a.Dim(1)
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : i*n+n]
+		for j, v := range row {
+			t.Data[j*m+i] = v
+		}
+	}
+	return t
+}
+
+// OuterAccum computes C += x·yᵀ for vectors x (len m) and y (len n) into the
+// flat [m,n] slice c. Used for weight-gradient accumulation.
+func OuterAccum(c, x, y []float32) {
+	m, n := len(x), len(y)
+	if len(c) < m*n {
+		panic("tensor: OuterAccum output too small")
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		crow := c[i*n : i*n+n]
+		for j, yv := range y {
+			crow[j] += xv * yv
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add computes t += o elementwise.
+func (t *Tensor) Add(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: Add size mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Sub computes t -= o elementwise.
+func (t *Tensor) Sub(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: Sub size mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// Mul computes t *= o elementwise (Hadamard product).
+func (t *Tensor) Mul(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: Mul size mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale computes t *= a elementwise.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AddScaled computes t += a*o elementwise (axpy).
+func (t *Tensor) AddScaled(a float32, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: AddScaled size mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Axpy computes y += a*x on raw slices; the hot loop shared by optimizers.
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float32) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += float64(v) * float64(y[i])
+	}
+	return s
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element value (−Inf for empty tensors).
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element in a flat tensor.
+func (t *Tensor) ArgMax() int {
+	best, bm := 0, float32(math.Inf(-1))
+	for i, v := range t.Data {
+		if v > bm {
+			bm, best = v, i
+		}
+	}
+	return best
+}
+
+// ArgMaxRow returns, for a rank-2 tensor, the argmax of row i.
+func (t *Tensor) ArgMaxRow(i int) int {
+	row := t.Row(i)
+	best, bm := 0, float32(math.Inf(-1))
+	for j, v := range row {
+		if v > bm {
+			bm, best = v, j
+		}
+	}
+	return best
+}
+
+// Softmax writes the softmax of src into dst (both length n), numerically
+// stabilized by max subtraction.
+func Softmax(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: Softmax length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - m))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(x_i)), numerically stabilized.
+func LogSumExp(x []float32) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(float64(v - m))
+	}
+	return float64(m) + math.Log(s)
+}
+
+// Clip bounds every element of t into [lo, hi].
+func (t *Tensor) Clip(lo, hi float32) {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+}
+
+// TopK returns the indices of the k largest values in x, in descending value
+// order. k is clamped to len(x). O(n·k), fine for the module counts used here.
+func TopK(x []float32, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, k)
+	taken := make([]bool, len(x))
+	for c := 0; c < k; c++ {
+		best := -1
+		bm := float32(math.Inf(-1))
+		for i, v := range x {
+			if !taken[i] && v > bm {
+				bm, best = v, i
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

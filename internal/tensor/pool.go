@@ -1,0 +1,127 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism controls how many worker goroutines the parallel kernels use.
+// It defaults to GOMAXPROCS and can be lowered (e.g. to 1) for deterministic
+// profiling. Values < 1 are treated as 1.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// minParallelWork is the smallest per-call element count for which spawning
+// goroutines pays off; below it kernels run serially.
+const minParallelWork = 1 << 12
+
+// ParallelFor splits [0, n) into contiguous chunks and runs fn(start, end) on
+// each chunk concurrently. fn must be safe to call from multiple goroutines on
+// disjoint ranges. It runs serially when n is small or Parallelism is 1.
+func ParallelFor(n int, fn func(start, end int)) {
+	workers := Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 0 {
+		return
+	}
+	if workers == 1 || n < workers*2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ParallelForChunks is ParallelFor with a stable chunk index passed to fn:
+// chunks are contiguous, ordered, and their count/boundaries depend only on
+// (n, Parallelism). Callers that reduce per-chunk partial results in chunk
+// order get deterministic floating-point sums for a fixed Parallelism.
+// Returns the number of chunks used.
+func ParallelForChunks(n int, fn func(chunk, start, end int)) int {
+	workers := Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	if workers == 1 || n < workers*2 {
+		fn(0, 0, n)
+		return 1
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	numChunks := (n + chunk - 1) / chunk
+	var wg sync.WaitGroup
+	for c := 0; c < numChunks; c++ {
+		start := c * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(ci, s, e int) {
+			defer wg.Done()
+			fn(ci, s, e)
+		}(c, start, end)
+	}
+	wg.Wait()
+	return numChunks
+}
+
+// ParallelForAtomic runs fn(i) for each i in [0, n) with dynamic
+// work-stealing via an atomic counter. Use when per-item cost is highly
+// non-uniform; for uniform work ParallelFor has less overhead.
+func ParallelForAtomic(n int, fn func(i int)) {
+	workers := Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 0 {
+		return
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

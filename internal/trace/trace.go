@@ -1,0 +1,152 @@
+// Package trace provides structured JSON-lines event logging for the online
+// adaptation pipeline: one event per round, client update, aggregation, and
+// evaluation. Consumers can replay a run's accounting (communication,
+// timing, accuracy trajectories) from the log alone — useful both for
+// debugging and for generating custom figures.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind enumerates event types.
+type Kind string
+
+// Event kinds emitted by the adaptation pipeline.
+const (
+	KindRoundStart   Kind = "round_start"
+	KindClientUpdate Kind = "client_update"
+	KindAggregate    Kind = "aggregate"
+	KindEval         Kind = "eval"
+	KindNote         Kind = "note"
+)
+
+// Event is one structured log record. Fields are a superset across kinds;
+// unused ones are omitted from the JSON.
+type Event struct {
+	Seq      int64   `json:"seq"`
+	Wall     string  `json:"wall,omitempty"` // RFC3339 wall-clock timestamp
+	Kind     Kind    `json:"kind"`
+	Round    int     `json:"round,omitempty"`
+	Client   int     `json:"client,omitempty"`
+	Modules  int     `json:"modules,omitempty"`
+	BytesUp  int64   `json:"bytes_up,omitempty"`
+	BytesDn  int64   `json:"bytes_down,omitempty"`
+	SimTime  float64 `json:"sim_time,omitempty"`
+	Accuracy float64 `json:"accuracy,omitempty"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// Logger writes events as JSON lines. The zero value and a nil *Logger both
+// discard events, so call sites never need nil checks.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	seq   int64
+	clock func() time.Time
+}
+
+// New creates a logger writing to w. A nil w discards events.
+func New(w io.Writer) *Logger {
+	return &Logger{w: w, clock: time.Now}
+}
+
+// NewWithClock creates a logger with a custom clock (deterministic tests).
+func NewWithClock(w io.Writer, clock func() time.Time) *Logger {
+	return &Logger{w: w, clock: clock}
+}
+
+// Emit writes one event, stamping sequence number and wall time.
+func (l *Logger) Emit(e Event) {
+	if l == nil || l.w == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if l.clock != nil {
+		e.Wall = l.clock().UTC().Format(time.RFC3339Nano)
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		fmt.Fprintf(l.w, `{"kind":"note","note":"marshal error: %s"}`+"\n", err)
+		return
+	}
+	l.w.Write(append(data, '\n'))
+}
+
+// RoundStart logs the beginning of a communication round.
+func (l *Logger) RoundStart(round int) {
+	l.Emit(Event{Kind: KindRoundStart, Round: round})
+}
+
+// ClientUpdate logs one device's participation.
+func (l *Logger) ClientUpdate(round, client, modules int, bytesDown, bytesUp int64, simTime float64) {
+	l.Emit(Event{Kind: KindClientUpdate, Round: round, Client: client, Modules: modules,
+		BytesDn: bytesDown, BytesUp: bytesUp, SimTime: simTime})
+}
+
+// Aggregate logs a cloud aggregation over n updates.
+func (l *Logger) Aggregate(round, updates int) {
+	l.Emit(Event{Kind: KindAggregate, Round: round, Modules: updates})
+}
+
+// Eval logs an accuracy measurement.
+func (l *Logger) Eval(round int, acc float64) {
+	l.Emit(Event{Kind: KindEval, Round: round, Accuracy: acc})
+}
+
+// Notef logs a freeform annotation.
+func (l *Logger) Notef(format string, args ...any) {
+	l.Emit(Event{Kind: KindNote, Note: fmt.Sprintf(format, args...)})
+}
+
+// Read parses a JSONL stream back into events (the replay side).
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: decode event %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary aggregates a log's accounting: total bytes both ways, simulated
+// time, rounds seen, and the accuracy trajectory.
+type Summary struct {
+	Rounds    int
+	BytesUp   int64
+	BytesDown int64
+	SimTime   float64
+	Accuracy  []float64
+}
+
+// Summarize folds events into a Summary.
+func Summarize(events []Event) Summary {
+	var s Summary
+	for _, e := range events {
+		switch e.Kind {
+		case KindRoundStart:
+			s.Rounds++
+		case KindClientUpdate:
+			s.BytesUp += e.BytesUp
+			s.BytesDown += e.BytesDn
+			if e.SimTime > s.SimTime {
+				s.SimTime = e.SimTime
+			}
+		case KindEval:
+			s.Accuracy = append(s.Accuracy, e.Accuracy)
+		}
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func TestEmitAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWithClock(&buf, fixedClock)
+	l.RoundStart(1)
+	l.ClientUpdate(1, 7, 4, 1000, 800, 0.25)
+	l.Aggregate(1, 6)
+	l.Eval(1, 0.83)
+	l.Notef("hello %d", 42)
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("read %d events", len(events))
+	}
+	if events[0].Kind != KindRoundStart || events[0].Seq != 1 {
+		t.Fatalf("first event: %+v", events[0])
+	}
+	cu := events[1]
+	if cu.Client != 7 || cu.Modules != 4 || cu.BytesDn != 1000 || cu.BytesUp != 800 {
+		t.Fatalf("client update: %+v", cu)
+	}
+	if events[3].Accuracy != 0.83 {
+		t.Fatalf("eval: %+v", events[3])
+	}
+	if events[4].Note != "hello 42" {
+		t.Fatalf("note: %+v", events[4])
+	}
+	if !strings.Contains(events[0].Wall, "2026-07-05") {
+		t.Fatalf("wall time: %q", events[0].Wall)
+	}
+}
+
+func TestSequenceMonotone(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	for i := 0; i < 10; i++ {
+		l.Eval(i, float64(i))
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("seq %d at index %d", e.Seq, i)
+		}
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.RoundStart(1) // must not panic
+	l.Eval(1, 0.5)
+	(&Logger{}).Notef("zero value is safe too")
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	for r := 1; r <= 3; r++ {
+		l.RoundStart(r)
+		l.ClientUpdate(r, 0, 3, 100, 50, float64(r))
+		l.ClientUpdate(r, 1, 3, 100, 50, float64(r)*2)
+		l.Eval(r, 0.5+float64(r)*0.1)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(events)
+	if s.Rounds != 3 {
+		t.Fatalf("rounds %d", s.Rounds)
+	}
+	if s.BytesDown != 600 || s.BytesUp != 300 {
+		t.Fatalf("bytes %d/%d", s.BytesDown, s.BytesUp)
+	}
+	if len(s.Accuracy) != 3 || s.Accuracy[2] != 0.8 {
+		t.Fatalf("accuracy %v", s.Accuracy)
+	}
+	if s.SimTime != 6 {
+		t.Fatalf("sim time %v", s.SimTime)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"kind\":\"eval\"}\nnot json\n")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
