@@ -2,15 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench sweep examples clean
+.PHONY: all build test vet lint race check bench sweep examples clean
 
-all: build vet test
+all: check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (determinism + concurrency invariants).
+lint:
+	$(GO) run ./cmd/nebula-lint ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI gate: build, vet, nebula-lint, and the race-instrumented test
+# suite. Everything must exit 0. See docs/ANALYSIS.md for the checks.
+check: build vet lint race
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,34 @@
+#!/bin/sh
+# ci.sh — the repository's verification gate, exactly what `make check`
+# runs, as a standalone script for CI systems without make. Exits nonzero on
+# the first failure: build break, go vet finding, nebula-lint finding, or a
+# test/race failure.
+#
+# Optionally pass a seed to also audit experiment determinism end-to-end:
+#   ./ci.sh 7    # additionally runs `nebula-sim -exp fig1b -seed 7 -seed-audit`
+set -eu
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== nebula-lint ./..."
+go run ./cmd/nebula-lint ./...
+
+echo "== nebula-lint self-check (fixtures must trip every analyzer)"
+if go run ./cmd/nebula-lint -unscoped internal/lint/testdata >/dev/null 2>&1; then
+    echo "ci: nebula-lint exited 0 on its own fixtures — the analyzer is broken" >&2
+    exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+if [ "${1:-}" != "" ]; then
+    echo "== seed audit (seed $1)"
+    go run ./cmd/nebula-sim -exp fig1b -seed "$1" -seed-audit >/dev/null
+fi
+
+echo "ci: all gates passed"

@@ -1,0 +1,90 @@
+// Command nebula-lint is the project's static analyzer: it enforces the
+// determinism and concurrency invariants Nebula's correctness claims rest on
+// (module-wise aggregation order, leak-free goroutine fan-out, error-checked
+// protocol I/O, lock hygiene, and config-seeded randomness).
+//
+// Usage:
+//
+//	nebula-lint ./...                    lint the whole tree (default)
+//	nebula-lint -list                    describe every check
+//	nebula-lint -checks maporder,goleak internal/modular
+//	nebula-lint -unscoped internal/lint/testdata
+//
+// Diagnostics print as `file:line: [check] message`; the exit status is 1
+// when any finding survives //nolint filtering, so `make check` and ci.sh
+// can gate on it. Suppress a finding with `//nolint:check -- reason` on or
+// above the offending line; a reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "describe every check and exit")
+		checks   = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		unscoped = flag.Bool("unscoped", false, "ignore per-check path scoping (lint fixture trees)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if paths := a.DefaultPaths(); len(paths) > 0 {
+				scope = strings.Join(paths, ", ")
+			}
+			fmt.Printf("%-10s %s\n%-10s scope: %s\n", a.Name(), a.Doc(), "", scope)
+		}
+		return
+	}
+	if *checks != "" {
+		analyzers = selectChecks(analyzers, *checks)
+		if len(analyzers) == 0 {
+			fmt.Fprintf(os.Stderr, "nebula-lint: no known checks in %q (see -list)\n", *checks)
+			os.Exit(2)
+		}
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	pkgs, err := lint.Load(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-lint:", err)
+		os.Exit(2)
+	}
+
+	runner := &lint.Runner{Analyzers: analyzers, Unscoped: *unscoped}
+	diags := runner.Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nebula-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func selectChecks(all []lint.Analyzer, spec string) []lint.Analyzer {
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []lint.Analyzer
+	for _, a := range all {
+		if want[a.Name()] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -40,9 +40,9 @@ func pipePair(t *testing.T, srv *Server, skeleton *modular.Model) *EdgeClient {
 	go func() {
 		defer wg.Done()
 		srv.ServeConn(a)
-		a.Close()
+		_ = a.Close() // net.Pipe close cannot fail; explicit drop keeps errdrop honest
 	}()
-	t.Cleanup(func() { b.Close(); wg.Wait() })
+	t.Cleanup(func() { _ = b.Close(); wg.Wait() })
 	return NewPipeClient(b, 1, skeleton)
 }
 

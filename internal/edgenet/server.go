@@ -77,7 +77,9 @@ func (s *Server) acceptLoop() {
 func (s *Server) Close() {
 	close(s.closed)
 	if s.ln != nil {
-		s.ln.Close()
+		if err := s.ln.Close(); err != nil {
+			s.logf("listener close: %v", err)
+		}
 	}
 	s.wg.Wait()
 }

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ErrDrop flags statements that discard the error result of I/O, network,
+// and encoding calls on the protocol and checkpoint paths. A swallowed short
+// write on the edgenet wire or a half-written checkpoint is exactly the
+// silent corruption the testbed papers warn about; every such error must be
+// checked, returned, or explicitly assigned to `_` (which stays visible in
+// review).
+//
+// The check is name-based (this is a stdlib-only analyzer without full
+// cross-package type information): a bare expression statement calling one
+// of the known error-returning I/O methods or package functions is a
+// finding. Deferred calls are exempt — `defer f.Close()` on a read path is
+// idiomatic; write paths should close explicitly and check.
+type ErrDrop struct{}
+
+// Name implements Analyzer.
+func (ErrDrop) Name() string { return "errdrop" }
+
+// Doc implements Analyzer.
+func (ErrDrop) Doc() string {
+	return "dropped error from io/net/encoding call on the protocol or checkpoint path"
+}
+
+// DefaultPaths implements Analyzer: scoped to the wire protocol and model
+// serialization, where a silent I/O failure corrupts state.
+func (ErrDrop) DefaultPaths() []string {
+	return []string{"internal/edgenet", "internal/modular/checkpoint"}
+}
+
+// errReturningCalls are method/function names from io, net, and encoding
+// whose error results must not be dropped.
+var errReturningCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Read": true, "ReadFull": true, "ReadAll": true,
+	"Close": true, "Flush": true, "Sync": true,
+	"Encode": true, "Decode": true,
+	"Send": true, "Recv": true,
+	"Copy": true, "CopyN": true,
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+// Check implements Analyzer.
+func (ErrDrop) Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !errReturningCalls[name] {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:   f.Fset.Position(stmt.Pos()),
+			Check: "errdrop",
+			Message: fmt.Sprintf("error result of %s is dropped; check it, return it, or assign to _ explicitly",
+				name),
+		})
+		return true
+	})
+	return out
+}

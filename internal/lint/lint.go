@@ -1,0 +1,374 @@
+// Package lint is nebula-lint's engine: a stdlib-only static analyzer that
+// enforces the project invariants the Go compiler cannot check —
+// deterministic aggregation order, leak-free goroutine fan-out, error-checked
+// protocol I/O, lock-safe struct handling, and config-seeded randomness.
+//
+// The engine parses every package under the requested roots with go/parser,
+// runs a best-effort go/types pass (imports are stubbed, so cross-package
+// types degrade gracefully to syntactic fallbacks), and hands each file to a
+// set of Analyzers. Diagnostics can be suppressed with a trailing or
+// preceding `//nolint:check -- reason` comment; a nolint directive without a
+// justification is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the canonical `file:line: [check] message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// File is one parsed source file plus the package context checks need.
+type File struct {
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+	Pkg  *Package
+}
+
+// Package groups the files of one directory (split by package clause) with
+// best-effort type information.
+type Package struct {
+	Dir   string
+	Name  string
+	Files []*File
+	// Info holds whatever the type checker could resolve. Imported types
+	// degrade to invalid; checks must tolerate missing entries.
+	Info *types.Info
+}
+
+// TypeOf returns the best-effort type of e, or nil when unresolved.
+func (f *File) TypeOf(e ast.Expr) types.Type {
+	if f.Pkg == nil || f.Pkg.Info == nil {
+		return nil
+	}
+	return f.Pkg.Info.TypeOf(e)
+}
+
+// Analyzer is one project-specific check.
+type Analyzer interface {
+	// Name is the short id used in diagnostics and //nolint directives.
+	Name() string
+	// Doc is a one-line description of the invariant the check protects.
+	Doc() string
+	// DefaultPaths restricts where the check applies (substring match on the
+	// slash-separated file path). Empty means everywhere.
+	DefaultPaths() []string
+	// Check inspects one file and returns its findings.
+	Check(f *File) []Diagnostic
+}
+
+// All returns the full set of nebula-lint analyzers in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		MapOrder{},
+		GoLeak{},
+		ErrDrop{},
+		MutexCopy{},
+		SeedRand{},
+	}
+}
+
+// Runner applies analyzers to packages and filters suppressions.
+type Runner struct {
+	Analyzers []Analyzer
+	// Unscoped ignores each analyzer's DefaultPaths (used by tests and when
+	// linting fixture trees that live outside the scoped directories).
+	Unscoped bool
+}
+
+// Run lints every file of every package and returns diagnostics sorted by
+// file, line, and check. Unjustified //nolint directives are reported under
+// the pseudo-check "nolint".
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			sup := collectNolint(f)
+			for _, d := range sup.unjustified {
+				out = append(out, d)
+			}
+			for _, a := range r.Analyzers {
+				if !r.Unscoped && !pathInScope(f.Path, a.DefaultPaths()) {
+					continue
+				}
+				for _, d := range a.Check(f) {
+					if sup.suppresses(d.Pos.Line, a.Name()) {
+						continue
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+func pathInScope(path string, scopes []string) bool {
+	if len(scopes) == 0 {
+		return true
+	}
+	// Resolve relative paths (e.g. "../edgenet/server.go" when linting from
+	// a subdirectory) so scope matching sees the full repository path.
+	if abs, err := filepath.Abs(path); err == nil {
+		path = abs
+	}
+	slashed := filepath.ToSlash(path)
+	for _, s := range scopes {
+		if strings.Contains(slashed, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// nolintSet records suppression directives per line.
+type nolintSet struct {
+	// byLine maps a source line to the set of suppressed check names; an
+	// empty set means all checks are suppressed on that line.
+	byLine      map[int]map[string]bool
+	unjustified []Diagnostic
+}
+
+// suppresses reports whether check is silenced at line (directives apply to
+// their own line and the line directly below, covering both trailing and
+// preceding comment placement).
+func (s *nolintSet) suppresses(line int, check string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		checks, ok := s.byLine[l]
+		if !ok {
+			continue
+		}
+		if len(checks) == 0 || checks[check] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectNolint scans f's comments for //nolint directives. The accepted
+// grammar is `//nolint` or `//nolint:check1,check2`, optionally followed by
+// `-- justification`; a directive without a justification is reported so
+// suppressions stay auditable.
+func collectNolint(f *File) *nolintSet {
+	s := &nolintSet{byLine: map[int]map[string]bool{}}
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//nolint")
+			if !ok {
+				continue
+			}
+			line := f.Fset.Position(c.Pos()).Line
+			spec, reason, hasReason := strings.Cut(text, "--")
+			checks := map[string]bool{}
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(spec), ":"); ok {
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						checks[name] = true
+					}
+				}
+			}
+			s.byLine[line] = checks
+			if !hasReason || strings.TrimSpace(reason) == "" {
+				s.unjustified = append(s.unjustified, Diagnostic{
+					Pos:     f.Fset.Position(c.Pos()),
+					Check:   "nolint",
+					Message: "nolint directive needs a justification: //nolint:check -- reason",
+				})
+			}
+		}
+	}
+	return s
+}
+
+// Load discovers and parses packages under the given roots. A root ending in
+// "/..." is walked recursively; testdata, vendor, and hidden directories are
+// skipped during the walk (a testdata directory can still be linted by
+// naming it explicitly). Files are grouped into packages by package clause
+// and type-checked best-effort.
+func Load(roots []string) ([]*Package, error) {
+	dirs, err := expandRoots(roots)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		ps, err := loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	return pkgs, nil
+}
+
+func expandRoots(roots []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, root := range roots {
+		recursive := false
+		if strings.HasSuffix(root, "...") {
+			recursive = true
+			root = strings.TrimSuffix(root, "...")
+			root = strings.TrimSuffix(root, string(filepath.Separator))
+			root = strings.TrimSuffix(root, "/")
+			if root == "" || root == "." {
+				root = "."
+			}
+		}
+		info, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", root)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walk %s: %w", root, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses every .go file in dir and groups the results by package
+// clause (a directory can legally hold pkg and pkg_test).
+func loadDir(dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	fset := token.NewFileSet()
+	byName := map[string]*Package{}
+	var order []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		name := astf.Name.Name
+		pkg, ok := byName[name]
+		if !ok {
+			pkg = &Package{Dir: dir, Name: name}
+			byName[name] = pkg
+			order = append(order, name)
+		}
+		pkg.Files = append(pkg.Files, &File{Path: path, Fset: fset, AST: astf, Pkg: pkg})
+	}
+	var pkgs []*Package
+	for _, name := range order {
+		pkg := byName[name]
+		pkg.Info = typeCheck(fset, pkg)
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck runs go/types over the package with stubbed imports, keeping
+// whatever partial information survives. Errors are expected (imported
+// symbols are unresolvable) and ignored; checks fall back to syntax when an
+// expression's type is missing.
+func typeCheck(fset *token.FileSet, pkg *Package) *types.Info {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Error:    func(error) {},
+		Importer: stubImporter{},
+	}
+	files := make([]*ast.File, len(pkg.Files))
+	for i, f := range pkg.Files {
+		files[i] = f.AST
+	}
+	// Check always reports errors here (stubbed imports); the partial Info
+	// is still useful, so the returned error is deliberately dropped.
+	_, _ = conf.Check(pkg.Dir, fset, files, info) //nolint:errdrop -- partial type info is the point; import errors are expected
+	return info
+}
+
+// stubImporter satisfies go/types without resolving real packages: every
+// import becomes an empty placeholder, so cross-package expressions type as
+// invalid while package-local types resolve fully.
+type stubImporter struct{}
+
+func (stubImporter) Import(path string) (*types.Package, error) {
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	p := types.NewPackage(path, base)
+	p.MarkComplete()
+	return p, nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtures parses the testdata tree once per test that needs it.
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load([]string{"testdata"})
+	if err != nil {
+		t.Fatalf("Load(testdata): %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load(testdata) found no packages")
+	}
+	return pkgs
+}
+
+// runOn lints the fixtures unscoped (testdata lives outside every check's
+// default path scope) and groups diagnostics by fixture base name.
+func runOn(t *testing.T, pkgs []*Package) map[string][]Diagnostic {
+	t.Helper()
+	r := &Runner{Analyzers: All(), Unscoped: true}
+	byFile := map[string][]Diagnostic{}
+	for _, d := range r.Run(pkgs) {
+		byFile[filepath.Base(d.Pos.Filename)] = append(byFile[filepath.Base(d.Pos.Filename)], d)
+	}
+	return byFile
+}
+
+// TestFixtures is the golden table: every trigger file produces exactly one
+// diagnostic of its namesake check, the clean and suppressed files produce
+// none, and a bare //nolint surfaces as the "nolint" pseudo-check.
+func TestFixtures(t *testing.T) {
+	want := map[string][]string{
+		"maporder.go":   {"maporder"},
+		"goleak.go":     {"goleak"},
+		"errdrop.go":    {"errdrop"},
+		"mutexcopy.go":  {"mutexcopy"},
+		"seedrand.go":   {"seedrand"},
+		"clean.go":      nil,
+		"suppressed.go": nil,
+		"nolintbare.go": {"nolint"},
+	}
+	byFile := runOn(t, loadFixtures(t))
+	for file, checks := range want {
+		got := byFile[file]
+		if len(got) != len(checks) {
+			t.Errorf("%s: got %d diagnostics %v, want checks %v", file, len(got), got, checks)
+			continue
+		}
+		for i, check := range checks {
+			if got[i].Check != check {
+				t.Errorf("%s: diagnostic %d is [%s], want [%s]: %s", file, i, got[i].Check, check, got[i])
+			}
+		}
+	}
+	for file := range byFile {
+		if _, ok := want[file]; !ok {
+			t.Errorf("unexpected diagnostics in %s: %v", file, byFile[file])
+		}
+	}
+}
+
+// TestDiagnosticFormat pins the `file:line: [check] message` wire format the
+// Makefile and ci.sh grep for.
+func TestDiagnosticFormat(t *testing.T) {
+	byFile := runOn(t, loadFixtures(t))
+	diags := byFile["maporder.go"]
+	if len(diags) != 1 {
+		t.Fatalf("maporder.go: got %d diagnostics, want 1", len(diags))
+	}
+	s := diags[0].String()
+	wantPrefix := fmt.Sprintf("%s:%d: [maporder] ", filepath.Join("testdata", "maporder.go"), diags[0].Pos.Line)
+	if !strings.HasPrefix(s, wantPrefix) {
+		t.Errorf("diagnostic %q does not match format %q", s, wantPrefix+"...")
+	}
+}
+
+// TestScoping verifies path-scoped checks stay quiet outside their
+// directories when the runner is scoped: errdrop and seedrand fixtures live
+// under testdata/, not internal/edgenet or internal/experiments.
+func TestScoping(t *testing.T) {
+	pkgs := loadFixtures(t)
+	r := &Runner{Analyzers: All()} // scoped
+	for _, d := range r.Run(pkgs) {
+		if d.Check == "errdrop" || d.Check == "seedrand" {
+			t.Errorf("scoped run produced %s outside its default paths: %s", d.Check, d)
+		}
+	}
+}
+
+// TestSelfClean locks in the tentpole invariant: the analyzer exits clean on
+// the repository's own tree, so `make check` stays green.
+func TestSelfClean(t *testing.T) {
+	pkgs, err := Load([]string{"../..."})
+	if err != nil {
+		t.Fatalf("Load(../...): %v", err)
+	}
+	r := &Runner{Analyzers: All()}
+	if diags := r.Run(pkgs); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("repository tree is not lint-clean: %s", d)
+		}
+	}
+}
+
+// TestNolintGrammar covers directive parsing edge cases.
+func TestNolintGrammar(t *testing.T) {
+	cases := []struct {
+		name      string
+		directive string
+		suppress  bool // suppresses maporder on the next line?
+		justified bool
+	}{
+		{"justified-specific", "//nolint:maporder -- keys feed a set", true, true},
+		{"justified-all", "//nolint -- prototype code", true, true},
+		{"wrong-check", "//nolint:goleak -- not this one", false, true},
+		{"bare", "//nolint:maporder", true, false},
+		{"multi", "//nolint:goleak,maporder -- both silenced", true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package p\n\nfunc f(m map[int]int) []int {\n\tvar out []int\n\t" +
+				tc.directive + "\n\tfor k := range m {\n\t\tout = append(out, k+1)\n\t}\n\treturn out\n}\n"
+			pkgs := parseSource(t, src)
+			r := &Runner{Analyzers: []Analyzer{MapOrder{}}, Unscoped: true}
+			diags := r.Run(pkgs)
+			var gotMap, gotNolint bool
+			for _, d := range diags {
+				switch d.Check {
+				case "maporder":
+					gotMap = true
+				case "nolint":
+					gotNolint = true
+				}
+			}
+			if gotMap == tc.suppress {
+				t.Errorf("directive %q: maporder reported=%v, want suppressed=%v (diags %v)",
+					tc.directive, gotMap, tc.suppress, diags)
+			}
+			if gotNolint == tc.justified {
+				t.Errorf("directive %q: nolint-complaint reported=%v, want justified=%v",
+					tc.directive, gotNolint, tc.justified)
+			}
+		})
+	}
+}
+
+// parseSource loads a single in-memory file through the same pipeline as
+// Load, via a temp directory.
+func parseSource(t *testing.T, src string) []*Package {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load([]string{dir})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return pkgs
+}

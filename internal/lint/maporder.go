@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for k := range m` over maps whose loop body has
+// order-dependent effects: appending to slices, writing through indices of
+// outer containers, sending on channels, accumulating floats, or emitting
+// serialized/protocol output. Go randomizes map iteration order, so any such
+// loop makes aggregation buffers, parameter vectors, or wire payloads
+// nondeterministic across runs — the canonical fix is to collect the keys,
+// sort them, and range over the sorted slice.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Analyzer.
+func (MapOrder) Doc() string {
+	return "map iteration with order-dependent effects; sort keys first (deterministic aggregation)"
+}
+
+// DefaultPaths implements Analyzer: nondeterminism is poison everywhere.
+func (MapOrder) DefaultPaths() []string { return nil }
+
+// Check implements Analyzer.
+func (MapOrder) Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		var body ast.Node
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		sorted := sortedVars(body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapExpr(f, rng.X) {
+				return true
+			}
+			if isKeyCollect(rng, sorted) {
+				return true
+			}
+			if why := orderSensitive(f, rng); why != "" {
+				out = append(out, Diagnostic{
+					Pos:   f.Fset.Position(rng.Pos()),
+					Check: "maporder",
+					Message: fmt.Sprintf("iteration over map %s %s; iteration order is random — collect and sort the keys first",
+						types.ExprString(rng.X), why),
+				})
+			}
+			return true
+		})
+		// Function literals nested inside are revisited by the outer
+		// Inspect; suppress double-walking by not descending here.
+		return false
+	})
+	return out
+}
+
+// sortedVars collects the expressions the function passes to a sort call
+// (sort.Ints, sort.Strings, sort.Float64s, sort.Slice[Stable], slices.Sort*),
+// as printed strings. A key slice that is later sorted makes the collecting
+// loop deterministic.
+func sortedVars(body ast.Node) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkg.Name == "sort" || (pkg.Name == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort")) {
+			out[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isKeyCollect reports whether the loop is the sanctioned key-collection
+// idiom: its body only appends the range key into a slice that the function
+// sorts afterwards.
+func isKeyCollect(rng *ast.RangeStmt, sorted map[string]bool) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || calleeName(call) != "append" || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || arg.Name != key.Name {
+		return false
+	}
+	return sorted[types.ExprString(asg.Lhs[0])]
+}
+
+// isMapExpr reports whether e is map-typed, preferring go/types and falling
+// back to syntax (composite literals, make calls, and local declarations)
+// when type information is unavailable.
+func isMapExpr(f *File, e ast.Expr) bool {
+	if t := f.TypeOf(e); t != nil {
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	return isMapSyntax(e, 0)
+}
+
+func isMapSyntax(e ast.Expr, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch v := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.CompositeLit:
+		_, ok := v.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, isMap := v.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.Ident:
+		if v.Obj == nil {
+			return false
+		}
+		switch decl := v.Obj.Decl.(type) {
+		case *ast.ValueSpec:
+			if decl.Type != nil {
+				return isMapSyntax(decl.Type, depth+1)
+			}
+			for i, name := range decl.Names {
+				if name.Name == v.Name && i < len(decl.Values) {
+					return isMapSyntax(decl.Values[i], depth+1)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range decl.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == v.Name && i < len(decl.Rhs) {
+					return isMapSyntax(decl.Rhs[i], depth+1)
+				}
+			}
+		case *ast.Field:
+			return isMapSyntax(decl.Type, depth+1)
+		}
+	}
+	return false
+}
+
+// orderSensitiveSinks are call names whose effects depend on invocation
+// order: serialization, protocol writes, and formatted output.
+var orderSensitiveSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Send": true, "Append": true, "AppendFloat": true,
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+// orderSensitive inspects the loop body and returns a short reason when the
+// body's effects depend on iteration order, or "" when the loop is safe
+// (pure reads, writes confined to the ranged map itself, or commutative
+// integer/boolean accumulation).
+func orderSensitive(f *File, rng *ast.RangeStmt) string {
+	var why string
+	set := func(reason string) {
+		if why == "" {
+			why = reason
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			set("sends on a channel")
+		case *ast.CallExpr:
+			name := calleeName(v)
+			if name == "append" {
+				set("appends to a slice")
+			} else if orderSensitiveSinks[name] {
+				set(fmt.Sprintf("calls order-sensitive sink %s", name))
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					// Writing m[k] while ranging m is an update-in-place,
+					// not an ordering hazard; writing any other indexed
+					// container records iteration order.
+					if !sameExpr(l.X, rng.X) {
+						set(fmt.Sprintf("writes through index of %s", types.ExprString(l.X)))
+					}
+				}
+			}
+			if v.Tok == token.ADD_ASSIGN || v.Tok == token.SUB_ASSIGN || v.Tok == token.MUL_ASSIGN {
+				for _, lhs := range v.Lhs {
+					if isFloatExpr(f, lhs) {
+						set("accumulates floating-point values (rounding is order-dependent)")
+					}
+				}
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+func sameExpr(a, b ast.Expr) bool {
+	return types.ExprString(a) == types.ExprString(b)
+}
+
+func isFloatExpr(f *File, e ast.Expr) bool {
+	t := f.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

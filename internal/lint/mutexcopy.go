@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// MutexCopy flags copies of structs that contain sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once, or sync.Cond fields: value receivers, value
+// parameters, and assignments that duplicate the lock. A copied lock guards
+// nothing — two goroutines each lock their own copy and race on the shared
+// state underneath, the classic way an edgenet.Server or tensor pool
+// "protected" by a mutex still corrupts its counters.
+//
+// Detection is syntactic: the analyzer computes the package-local set of
+// lock-bearing struct types (including structs embedding other local
+// lock-bearing types) and flags value uses of them, plus direct value
+// parameters of the sync types themselves.
+type MutexCopy struct{}
+
+// Name implements Analyzer.
+func (MutexCopy) Name() string { return "mutexcopy" }
+
+// Doc implements Analyzer.
+func (MutexCopy) Doc() string {
+	return "struct containing a sync lock is copied by value (locks must be shared, not cloned)"
+}
+
+// DefaultPaths implements Analyzer: lock hygiene applies everywhere.
+func (MutexCopy) DefaultPaths() []string { return nil }
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// Check implements Analyzer.
+func (MutexCopy) Check(f *File) []Diagnostic {
+	lockTypes := packageLockTypes(f.Pkg)
+	var out []Diagnostic
+	report := func(n ast.Node, what, typeName string) {
+		out = append(out, Diagnostic{
+			Pos:   f.Fset.Position(n.Pos()),
+			Check: "mutexcopy",
+			Message: fmt.Sprintf("%s copies lock-bearing type %s by value; use a pointer",
+				what, typeName),
+		})
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Recv != nil {
+				for _, field := range v.Recv.List {
+					if name, ok := lockBearing(field.Type, lockTypes); ok {
+						report(field, "method receiver", name)
+					}
+				}
+			}
+			checkFieldList(v.Type.Params, lockTypes, report)
+		case *ast.FuncLit:
+			checkFieldList(v.Type.Params, lockTypes, report)
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if name, ok := copiesLock(rhs, lockTypes); ok {
+					report(v, "assignment", name)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkFieldList(params *ast.FieldList, lockTypes map[string]bool,
+	report func(ast.Node, string, string)) {
+	if params == nil {
+		return
+	}
+	for _, field := range params.List {
+		if name, ok := lockBearing(field.Type, lockTypes); ok {
+			report(field, "parameter", name)
+		}
+	}
+}
+
+// lockBearing reports whether t is a non-pointer lock-bearing type: a sync
+// lock type itself or a package-local struct type containing one.
+func lockBearing(t ast.Expr, lockTypes map[string]bool) (string, bool) {
+	switch v := t.(type) {
+	case *ast.Ident:
+		if lockTypes[v.Name] {
+			return v.Name, true
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := v.X.(*ast.Ident); ok && pkg.Name == "sync" && syncLockTypes[v.Sel.Name] {
+			return "sync." + v.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// copiesLock reports whether evaluating rhs yields a by-value copy of a
+// lock-bearing type: dereferencing a pointer to one, or naming a variable
+// declared as one.
+func copiesLock(rhs ast.Expr, lockTypes map[string]bool) (string, bool) {
+	switch v := rhs.(type) {
+	case *ast.StarExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			if t := declaredType(id); t != nil {
+				if ptr, ok := t.(*ast.StarExpr); ok {
+					return lockBearing(ptr.X, lockTypes)
+				}
+			}
+		}
+	case *ast.Ident:
+		if t := declaredType(v); t != nil {
+			return lockBearing(t, lockTypes)
+		}
+	}
+	return "", false
+}
+
+// declaredType resolves an identifier to its declared type expression via
+// the parser's object links, or nil when unknown.
+func declaredType(id *ast.Ident) ast.Expr {
+	if id.Obj == nil {
+		return nil
+	}
+	switch decl := id.Obj.Decl.(type) {
+	case *ast.ValueSpec:
+		return decl.Type
+	case *ast.Field:
+		return decl.Type
+	}
+	return nil
+}
+
+// packageLockTypes computes the names of package-local struct types that
+// contain a sync lock by value, directly or through one level of embedding
+// another local lock-bearing struct (a two-pass fixpoint is enough for this
+// codebase's nesting depth).
+func packageLockTypes(pkg *Package) map[string]bool {
+	lockTypes := map[string]bool{}
+	if pkg == nil {
+		return lockTypes
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if _, has := lockBearing(field.Type, lockTypes); has {
+							lockTypes[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return lockTypes
+}

@@ -1,0 +1,58 @@
+package fixtures
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// clean: the sanctioned version of every pattern the checks police — this
+// file must produce zero diagnostics.
+
+// Sorted-key iteration keeps aggregation deterministic.
+func collectSorted(byDevice map[int][]float64) []float64 {
+	keys := make([]int, 0, len(byDevice))
+	for k := range byDevice {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var flat []float64
+	for _, k := range keys {
+		flat = append(flat, byDevice[k]...)
+	}
+	return flat
+}
+
+// WaitGroup bracketing makes the fan-out joinable.
+func fanOutJoined(work []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range work {
+		fn := fn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// Checked write errors propagate instead of vanishing.
+func pushFrameChecked(w io.Writer, frame []byte) error {
+	if _, err := w.Write(frame); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Pointer receivers share the lock instead of cloning it.
+type safeBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *safeBox) Snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}

@@ -1,0 +1,10 @@
+package fixtures
+
+import "io"
+
+// errdrop: a protocol write whose error result is silently discarded —
+// exactly one finding, on the Write call below.
+
+func pushFrame(w io.Writer, frame []byte) {
+	w.Write(frame)
+}

@@ -1,0 +1,13 @@
+package fixtures
+
+// goleak: a fire-and-forget goroutine literal with no WaitGroup, channel, or
+// context — exactly one finding, on the go statement below.
+
+func fanOutUnsupervised(work []func()) {
+	for _, fn := range work {
+		fn := fn
+		go func() {
+			fn()
+		}()
+	}
+}

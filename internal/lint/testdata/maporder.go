@@ -1,0 +1,12 @@
+package fixtures
+
+// maporder: ranging a map while appending records iteration order, which Go
+// randomizes — exactly one finding, on the range statement below.
+
+func collectUpdates(byDevice map[int][]float64) []float64 {
+	var flat []float64
+	for _, vec := range byDevice {
+		flat = append(flat, vec...)
+	}
+	return flat
+}

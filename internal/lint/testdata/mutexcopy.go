@@ -1,0 +1,17 @@
+package fixtures
+
+import "sync"
+
+// mutexcopy: a value receiver on a lock-bearing struct clones the mutex —
+// exactly one finding, on the receiver below.
+
+type counterBox struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b counterBox) Snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}

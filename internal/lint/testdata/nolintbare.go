@@ -1,0 +1,14 @@
+package fixtures
+
+// nolintbare: a //nolint directive without a justification is itself a
+// finding (pseudo-check "nolint"); the suppression still applies, so the
+// only diagnostic here is the bare directive itself.
+
+func collectBare(byDevice map[int][]float64) []float64 {
+	var flat []float64
+	//nolint:maporder
+	for _, vec := range byDevice {
+		flat = append(flat, vec...)
+	}
+	return flat
+}

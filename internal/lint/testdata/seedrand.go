@@ -1,0 +1,10 @@
+package fixtures
+
+import "math/rand"
+
+// seedrand: drawing from the shared global source ignores the config seed —
+// exactly one finding, on the rand.Intn call below.
+
+func pickDevice(n int) int {
+	return rand.Intn(n)
+}

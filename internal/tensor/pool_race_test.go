@@ -1,0 +1,59 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelKernelsRace drives the three fan-out primitives from several
+// goroutines at once so `go test -race` exercises the shared-slice capture
+// pattern (`go func(s, e int)`) the goleak check polices. Each worker writes
+// a disjoint slice; any overlap or loop-variable capture bug surfaces as a
+// race report or a wrong sum.
+func TestParallelKernelsRace(t *testing.T) {
+	const n = 1 << 14
+	const callers = 4
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			buf := make([]float32, n)
+			ParallelFor(n, func(s, e int) {
+				for i := s; i < e; i++ {
+					buf[i] = float32(i + seed)
+				}
+			})
+			for i := range buf {
+				if buf[i] != float32(i+seed) {
+					t.Errorf("caller %d: buf[%d] = %v, want %v", seed, i, buf[i], float32(i+seed))
+					return
+				}
+			}
+
+			var total atomic.Int64
+			ParallelForAtomic(n, func(i int) { total.Add(int64(i)) })
+			if want := int64(n) * (n - 1) / 2; total.Load() != want {
+				t.Errorf("caller %d: atomic sum = %d, want %d", seed, total.Load(), want)
+			}
+
+			partials := make([]float64, n) // oversized; indexed by chunk id
+			chunks := ParallelForChunks(n, func(chunk, s, e int) {
+				var acc float64
+				for i := s; i < e; i++ {
+					acc += float64(i)
+				}
+				partials[chunk] = acc
+			})
+			var sum float64
+			for i := 0; i < chunks; i++ {
+				sum += partials[i]
+			}
+			if want := float64(n) * (n - 1) / 2; sum != want {
+				t.Errorf("caller %d: chunked sum = %v, want %v", seed, sum, want)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
