@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/device"
@@ -38,6 +39,9 @@ func main() {
 		devClass = flag.String("class", "jetson-nano", "device class for the resource profile")
 		scale    = flag.String("scale", "quick", "model scale: quick | paper")
 		quant    = flag.Bool("quant", false, "8-bit-quantize parameter transfers")
+		timeout  = flag.Duration("timeout", 15*time.Second, "per-call deadline before a retry")
+		retries  = flag.Int("retries", 4, "attempts per call (reconnect + backoff between attempts)")
+		faults   = flag.String("faults", "", "inject a seeded lossy link client-side, e.g. 'drop=0.25,delay=20ms,reset=0.05,seed=7'")
 	)
 	flag.Parse()
 
@@ -54,11 +58,27 @@ func main() {
 	// The skeleton shares the cloud's architecture via the common seed; all
 	// weights are replaced by downloads.
 	skeleton := task.BuildModular(tensor.NewRNG(*seed))
-	cl, err := edgenet.Dial(*addr, *id, skeleton)
+	var cl *edgenet.EdgeClient
+	var err error
+	if *faults != "" {
+		cfg, specErr := edgenet.ParseFaultSpec(*faults)
+		if specErr != nil {
+			log.Fatalf("faults: %v", specErr)
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = *seed
+		}
+		cl, err = edgenet.DialFaulty(*addr, *id, skeleton, cfg)
+	} else {
+		cl, err = edgenet.Dial(*addr, *id, skeleton)
+	}
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
 	cl.Quantize = *quant
+	cl.Policy.CallTimeout = *timeout
+	cl.Policy.MaxAttempts = *retries
+	cl.Policy.Seed = *seed
 	defer cl.Close()
 	if err := cl.Hello(); err != nil {
 		log.Fatalf("hello: %v", err)
@@ -78,6 +98,7 @@ func main() {
 	dev := data.NewDeviceData(rng, task.Gen, *id, classes, data.RandomEnv(rng), *volume)
 	mon := device.NewMonitor(rng, device.ClassByName(*devClass))
 
+	var cached *modular.SubModel
 	for step := 1; step <= *steps; step++ {
 		if step > 1 {
 			dev.Shift(*shift)
@@ -99,17 +120,28 @@ func main() {
 		budget := budgetFor(skeleton, p)
 		sub, err := cl.FetchSubModel(imp, budget)
 		if err != nil {
-			log.Fatalf("fetch: %v", err)
+			// Dynamic-edge survival: a lost fetch degrades to the cached
+			// sub-model instead of killing the device loop.
+			if cached == nil {
+				log.Printf("step %d: fetch lost (%v); no cached sub-model yet, skipping step", step, err)
+				continue
+			}
+			log.Printf("step %d: fetch lost (%v); serving cached sub-model", step, err)
+			sub = cached
 		}
+		cached = sub
 		before := fed.EvalSubModel(sub, dev.TestSet(60))
 		fed.TrainSubModel(rng, sub, dev.Train, *epochs, 0.01, 16)
 		after := fed.EvalSubModel(sub, dev.TestSet(60))
 		if err := cl.PushUpdate(sub, imp, float64(dev.Train.Len())); err != nil {
-			log.Fatalf("push: %v", err)
+			log.Printf("step %d: push lost (%v); round proceeds without this device", step, err)
 		}
 		in, out := cl.Traffic()
 		log.Printf("step %d: %d modules, acc %.3f → %.3f, traffic ↓%s ↑%s",
 			step, sub.NumModules(), before, after, metrics.FmtBytes(in), metrics.FmtBytes(out))
+	}
+	if rs := cl.RetryStats(); rs.Retries+rs.Reconnects+rs.Timeouts > 0 {
+		log.Printf("resilience: %d retries, %d reconnects, %d call timeouts", rs.Retries, rs.Reconnects, rs.Timeouts)
 	}
 }
 

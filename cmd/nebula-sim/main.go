@@ -7,6 +7,7 @@
 //	nebula-sim -exp table1
 //	nebula-sim -exp all -devices 60 -rounds 10 -scale paper -v
 //	nebula-sim -exp table1 -seed 7 -seed-audit
+//	nebula-sim -exp faults -faults drop=0.25,delay=20ms,reset=0.05 -seed 7 -seed-audit
 //
 // -seed-audit runs the experiment twice with the same -seed and fails (exit
 // 1) unless both passes produce byte-identical output — the dynamic
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/edgenet"
 	"repro/internal/experiments"
 	"repro/internal/fed"
 )
@@ -32,6 +34,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available experiments")
 		scale     = flag.String("scale", "quick", "experiment scale: quick | paper")
 		seedAudit = flag.Bool("seed-audit", false, "run the experiment twice with the same seed and verify byte-identical output")
+		faults    = flag.String("faults", "", "inject a seeded lossy link into online-stage experiments, e.g. 'drop=0.25,delay=20ms,reset=0.05' (seed=N to replay a specific fault stream; defaults to -seed)")
 	)
 	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "random seed")
 	flag.IntVar(&opt.Devices, "devices", opt.Devices, "fleet size")
@@ -64,6 +67,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "nebula-sim: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	if *faults != "" {
+		cfg, err := edgenet.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-sim:", err)
+			os.Exit(2)
+		}
+		opt.Faults = cfg
 	}
 	opt.Out = os.Stdout
 

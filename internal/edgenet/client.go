@@ -1,13 +1,49 @@
 package edgenet
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/modular"
 	"repro/internal/nn"
 )
+
+// RetryPolicy controls client-side resilience: per-call deadlines plus
+// reconnect-and-retry with exponential backoff and seeded jitter. The zero
+// value means one attempt and no deadline — the pre-fault-tolerance
+// behavior, which in-process pipe tests rely on.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (1 = no retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff; each retry doubles it up to MaxDelay,
+	// then adds up to 100% seeded jitter so a fleet does not retry in
+	// lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// CallTimeout bounds one request/response exchange via the connection
+	// deadline; an expired call is treated as lost and retried.
+	CallTimeout time.Duration
+	// Seed drives the jitter sequence (mixed with the device ID), keeping
+	// retry schedules replayable.
+	Seed int64
+}
+
+// DefaultRetryPolicy is what the testbed binaries use over real networks.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, CallTimeout: 15 * time.Second, Seed: 1}
+}
+
+// RetryStats counts the client's recovery actions.
+type RetryStats struct {
+	Retries    int64 // calls re-sent after a transport error
+	Reconnects int64 // successful redials
+	Timeouts   int64 // calls abandoned on the per-call deadline
+}
 
 // EdgeClient is the device side of the testbed protocol. It holds a local
 // model skeleton (built from the shared task seed, so architectures agree
@@ -18,27 +54,84 @@ type EdgeClient struct {
 	Skeleton *modular.Model
 	// Quantize requests/sends 8-bit-quantized parameter payloads.
 	Quantize bool
-	codec    *Codec
-	closer   io.Closer
+	// Policy configures per-call deadlines and retries. Retrying needs
+	// Redial: a gob stream is stateful, so recovery always means a fresh
+	// connection and codec.
+	Policy RetryPolicy
+	// Redial reopens the transport after a failure. Dial installs a TCP
+	// redialer; pipe clients may set one (tests do) or live without retries.
+	Redial func() (io.ReadWriteCloser, error)
+
+	codec  *Codec
+	closer io.Closer
+	dl     connDeadliner // non-nil when the transport supports deadlines
+	rng    *rand.Rand    // jitter; lazily seeded from Policy.Seed and DeviceID
+	seq    int64         // PushUpdate round tag (see Request.Seq)
+	stats  RetryStats
+
+	// traffic accumulated over connections torn down by reconnects.
+	pastIn, pastOut int64
 }
 
-// Dial connects to the cloud server over TCP.
+// Dial connects to the cloud server over TCP with the default retry policy.
 func Dial(addr string, deviceID int, skeleton *modular.Model) (*EdgeClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("edgenet: dial %s: %w", addr, err)
+	return dialWrapped(addr, deviceID, skeleton, nil)
+}
+
+// DialFaulty connects like Dial but wraps the connection — and every
+// reconnect — in a seeded fault injector, for lossy-network replay without a
+// lossy network. Each reconnect derives a distinct injector seed so retries
+// do not replay the identical fault forever.
+func DialFaulty(addr string, deviceID int, skeleton *modular.Model, cfg FaultConfig) (*EdgeClient, error) {
+	var conns atomic.Int64
+	return dialWrapped(addr, deviceID, skeleton, func(c net.Conn) net.Conn {
+		sub := cfg
+		sub.Seed = cfg.Seed + int64(deviceID)*1_000_003 + conns.Add(1) - 1
+		return NewFaultyConn(c, sub)
+	})
+}
+
+func dialWrapped(addr string, deviceID int, skeleton *modular.Model, wrap func(net.Conn) net.Conn) (*EdgeClient, error) {
+	redial := func() (io.ReadWriteCloser, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("edgenet: dial %s: %w", addr, err)
+		}
+		if wrap != nil {
+			return wrap(conn), nil
+		}
+		return conn, nil
 	}
-	return &EdgeClient{DeviceID: deviceID, Skeleton: skeleton, codec: NewCodec(conn), closer: conn}, nil
+	rw, err := redial()
+	if err != nil {
+		return nil, err
+	}
+	c := &EdgeClient{DeviceID: deviceID, Skeleton: skeleton, Policy: DefaultRetryPolicy(), Redial: redial}
+	c.attach(rw)
+	return c, nil
 }
 
 // NewPipeClient wraps an in-process stream (e.g. net.Pipe) — used by tests
 // and the simulation harness.
 func NewPipeClient(rw io.ReadWriter, deviceID int, skeleton *modular.Model) *EdgeClient {
-	c := &EdgeClient{DeviceID: deviceID, Skeleton: skeleton, codec: NewCodec(rw)}
+	c := &EdgeClient{DeviceID: deviceID, Skeleton: skeleton}
+	c.attach(rw)
+	return c
+}
+
+// attach points the client at a fresh transport.
+func (c *EdgeClient) attach(rw io.ReadWriter) {
+	c.codec = NewCodec(rw)
 	if cl, ok := rw.(io.Closer); ok {
 		c.closer = cl
+	} else {
+		c.closer = nil
 	}
-	return c
+	if dl, ok := rw.(connDeadliner); ok {
+		c.dl = dl
+	} else {
+		c.dl = nil
+	}
 }
 
 // Close tears down the connection.
@@ -49,24 +142,132 @@ func (c *EdgeClient) Close() error {
 	return nil
 }
 
-// Traffic returns bytes received and sent by this client.
-func (c *EdgeClient) Traffic() (in, out int64) { return c.codec.Traffic() }
+// Traffic returns bytes received and sent by this client, including over
+// connections discarded by reconnects.
+func (c *EdgeClient) Traffic() (in, out int64) {
+	in, out = c.codec.Traffic()
+	return in + c.pastIn, out + c.pastOut
+}
+
+// RetryStats reports the client's recovery counters.
+func (c *EdgeClient) RetryStats() RetryStats { return c.stats }
+
+// call runs one request with the retry policy. Every protocol request is
+// safe to retry: Hello/FetchSubModel/Stats/Shutdown are idempotent reads,
+// and PushUpdate is round-tagged so the server dedupes replays.
+func (c *EdgeClient) call(req *Request) (*Response, error) {
+	attempts := c.Policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if c.Redial == nil {
+				break // no way to recover a broken gob stream
+			}
+			c.backoff(attempt)
+			if err := c.reconnect(); err != nil {
+				lastErr = err
+				continue
+			}
+			c.stats.Retries++
+		}
+		req.Attempt = attempt
+		if c.dl != nil && c.Policy.CallTimeout > 0 {
+			_ = c.dl.SetReadDeadline(time.Now().Add(c.Policy.CallTimeout))
+			_ = c.dl.SetWriteDeadline(time.Now().Add(c.Policy.CallTimeout))
+		}
+		resp, err := c.codec.Call(req)
+		if c.dl != nil && c.Policy.CallTimeout > 0 {
+			_ = c.dl.SetReadDeadline(time.Time{})
+			_ = c.dl.SetWriteDeadline(time.Time{})
+		}
+		if err == nil {
+			return resp, nil
+		}
+		if resp != nil {
+			// The server replied with an application error; the transport
+			// is fine and a retry would just repeat the rejection.
+			return resp, err
+		}
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			c.stats.Timeouts++
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps base·2^(attempt−1) capped at MaxDelay, plus seeded jitter.
+func (c *EdgeClient) backoff(attempt int) {
+	d := c.Policy.BaseDelay
+	if d <= 0 {
+		return
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if c.Policy.MaxDelay > 0 && d >= c.Policy.MaxDelay {
+			d = c.Policy.MaxDelay
+			break
+		}
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.Policy.Seed + int64(c.DeviceID)*7919))
+	}
+	d += time.Duration(c.rng.Int63n(int64(d) + 1))
+	time.Sleep(d)
+}
+
+// reconnect bank-accounts the dead connection's traffic and dials afresh.
+func (c *EdgeClient) reconnect() error {
+	in, out := c.codec.Traffic()
+	c.pastIn += in
+	c.pastOut += out
+	if c.closer != nil {
+		_ = c.closer.Close()
+	}
+	rw, err := c.Redial()
+	if err != nil {
+		return err
+	}
+	c.attach(rw)
+	c.stats.Reconnects++
+	return nil
+}
 
 // Hello fetches the current unified selector into the local skeleton. Run
 // once after connecting; the device then scores module importance locally.
 func (c *EdgeClient) Hello() error {
-	resp, err := c.codec.Call(&Request{Kind: KindHello, DeviceID: c.DeviceID})
+	resp, err := c.call(&Request{Kind: KindHello, DeviceID: c.DeviceID})
 	if err != nil {
 		return err
 	}
-	c.Skeleton.Selector.LoadVector(resp.Selector)
+	// A malformed reply must not panic the device loop (mirrors the
+	// server's safeLoad guard for uploads).
+	if err := safeLoadSelector(c.Skeleton.Selector, resp.Selector); err != nil {
+		return fmt.Errorf("edgenet: hello: %w", err)
+	}
+	return nil
+}
+
+// safeLoadSelector converts a selector-vector length/shape panic into an
+// error.
+func safeLoadSelector(sel *modular.Selector, vec []float32) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bad selector vector: %v", r)
+		}
+	}()
+	sel.LoadVector(vec)
 	return nil
 }
 
 // FetchSubModel asks the cloud to derive a personalized sub-model for the
 // given importance/budget and instantiates it locally.
 func (c *EdgeClient) FetchSubModel(importance [][]float64, budget modular.Budget) (*modular.SubModel, error) {
-	resp, err := c.codec.Call(&Request{
+	resp, err := c.call(&Request{
 		Kind:       KindGetSubModel,
 		DeviceID:   c.DeviceID,
 		Importance: importance,
@@ -81,16 +282,21 @@ func (c *EdgeClient) FetchSubModel(importance [][]float64, budget modular.Budget
 	if len(resp.BackboneQ) > 0 {
 		vec = nn.DequantizeChunks(resp.BackboneQ)
 	}
-	sub.LoadBackboneVector(vec)
+	if err := safeLoad(sub, vec); err != nil {
+		return nil, fmt.Errorf("edgenet: fetch: %w", err)
+	}
 	return sub, nil
 }
 
 // PushUpdate uploads a locally trained sub-model with its importance scores
-// and aggregation weight.
+// and aggregation weight. Each update carries a monotonic Seq; a retry
+// resends the same Seq, and the server applies at most once.
 func (c *EdgeClient) PushUpdate(sub *modular.SubModel, importance [][]float64, weight float64) error {
+	c.seq++
 	req := &Request{
 		Kind:       KindPushUpdate,
 		DeviceID:   c.DeviceID,
+		Seq:        c.seq,
 		Active:     sub.Mapping,
 		Importance: importance,
 		Weight:     weight,
@@ -100,13 +306,13 @@ func (c *EdgeClient) PushUpdate(sub *modular.SubModel, importance [][]float64, w
 	} else {
 		req.Backbone = sub.BackboneVector()
 	}
-	_, err := c.codec.Call(req)
+	_, err := c.call(req)
 	return err
 }
 
 // Stats fetches server counters.
 func (c *EdgeClient) Stats() (Stats, error) {
-	resp, err := c.codec.Call(&Request{Kind: KindStats, DeviceID: c.DeviceID})
+	resp, err := c.call(&Request{Kind: KindStats, DeviceID: c.DeviceID})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -115,6 +321,6 @@ func (c *EdgeClient) Stats() (Stats, error) {
 
 // Shutdown asks the server connection to terminate after replying.
 func (c *EdgeClient) Shutdown() error {
-	_, err := c.codec.Call(&Request{Kind: KindShutdown, DeviceID: c.DeviceID})
+	_, err := c.call(&Request{Kind: KindShutdown, DeviceID: c.DeviceID})
 	return err
 }

@@ -10,6 +10,7 @@
 package edgenet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -39,6 +40,13 @@ const (
 type Request struct {
 	Kind     MsgKind
 	DeviceID int
+	// Attempt is 0 on a first send and counts up on client retries; the
+	// server tallies nonzero attempts in Stats.Retries.
+	Attempt int
+	// Seq round-tags a PushUpdate: each client numbers its updates
+	// monotonically and resends the same Seq on retry, so the server can
+	// dedupe replays (at-most-once application). 0 means untagged.
+	Seq int64
 
 	// GetSubModel fields.
 	Importance [][]float64
@@ -77,6 +85,9 @@ func FromBudget(b modular.Budget) BudgetMsg {
 type Response struct {
 	OK    bool
 	Error string
+	// Deduped marks a PushUpdate reply for an update the server had already
+	// applied (a replayed Seq); the retry succeeded but changed nothing.
+	Deduped bool
 
 	// Hello reply.
 	Selector []float32
@@ -97,6 +108,13 @@ type Stats struct {
 	Aggregations    int64
 	BytesIn         int64
 	BytesOut        int64
+
+	// Fault-tolerance counters (see docs/PROTOCOL.md "Fault model").
+	Retries       int64 // requests that arrived with Attempt > 0
+	Timeouts      int64 // connections reaped by the server read deadline
+	Resets        int64 // connections that died mid-stream (not clean EOF)
+	Dedups        int64 // replayed PushUpdates dropped by Seq dedup
+	AcceptRetries int64 // transient accept-loop errors survived
 }
 
 // countingConn wraps a stream and counts bytes both ways.
@@ -121,21 +139,32 @@ func (c countingConn) Write(p []byte) (int, error) {
 type Codec struct {
 	enc *gob.Encoder
 	dec *gob.Decoder
+	w   *bufio.Writer
 	in  atomic.Int64
 	out atomic.Int64
 }
 
-// NewCodec wraps a bidirectional stream.
+// NewCodec wraps a bidirectional stream. Outbound gob output is buffered and
+// flushed once per Send: gob emits type descriptors and values as separate
+// small writes, and coalescing them keeps one protocol message ≈ one wire
+// write — which matters under fault injection, where each write rolls for
+// loss independently.
 func NewCodec(rw io.ReadWriter) *Codec {
 	c := &Codec{}
 	cc := countingConn{rw: rw, in: &c.in, out: &c.out}
-	c.enc = gob.NewEncoder(cc)
+	c.w = bufio.NewWriterSize(cc, 64<<10)
+	c.enc = gob.NewEncoder(c.w)
 	c.dec = gob.NewDecoder(cc)
 	return c
 }
 
-// Send encodes any gob-compatible message.
-func (c *Codec) Send(v any) error { return c.enc.Encode(v) }
+// Send encodes any gob-compatible message and flushes it to the wire.
+func (c *Codec) Send(v any) error {
+	if err := c.enc.Encode(v); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
 
 // Recv decodes into v.
 func (c *Codec) Recv(v any) error { return c.dec.Decode(v) }

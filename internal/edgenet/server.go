@@ -3,8 +3,10 @@ package edgenet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/modular"
 	"repro/internal/nn"
@@ -20,10 +22,19 @@ type Server struct {
 	AggregateEvery int
 	// Logf, when set, receives one line per protocol event.
 	Logf func(format string, args ...any)
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests before the server reaps it; without it a hung client blocks
+	// Close's wg.Wait forever. 0 disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one response send (a client that stops reading
+	// otherwise wedges the handler). 0 disables the deadline.
+	WriteTimeout time.Duration
 
 	mu      sync.Mutex
 	pending []*modular.Update
 	stats   Stats
+	lastSeq map[int]int64 // deviceID → highest applied PushUpdate Seq
+	conns   map[net.Conn]struct{}
 
 	ln     net.Listener
 	closed chan struct{}
@@ -35,7 +46,15 @@ func NewServer(model *modular.Model, aggregateEvery int) *Server {
 	if aggregateEvery < 1 {
 		aggregateEvery = 1
 	}
-	return &Server{Model: model, AggregateEvery: aggregateEvery, closed: make(chan struct{})}
+	return &Server{
+		Model:          model,
+		AggregateEvery: aggregateEvery,
+		ReadTimeout:    5 * time.Minute,
+		WriteTimeout:   time.Minute,
+		closed:         make(chan struct{}),
+		lastSeq:        map[int]int64{},
+		conns:          map[net.Conn]struct{}{},
+	}
 }
 
 // Listen starts accepting connections on addr (e.g. ":7070" or "127.0.0.1:0")
@@ -45,14 +64,27 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
+// Serve accepts connections from an already-bound listener. Exported so
+// tests can inject listeners that fail transiently or wrap accepted
+// connections in fault injectors. The server takes ownership of ln.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// acceptLoop accepts until the listener closes. Transient accept errors
+// (EMFILE, ECONNABORTED, injected faults, ...) must not kill the loop — a
+// server that goes permanently deaf after one bad accept strands the whole
+// fleet — so anything that is not net.ErrClosed is retried with capped
+// exponential backoff.
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -60,20 +92,47 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				s.logf("accept error: %v", err)
+			}
+			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else if delay *= 2; delay > time.Second {
+				delay = time.Second
+			}
+			s.logf("accept error (retrying in %v): %v", delay, err)
+			s.mu.Lock()
+			s.stats.AcceptRetries++
+			s.mu.Unlock()
+			select {
+			case <-time.After(delay):
+			case <-s.closed:
+				return
+			}
+			continue
 		}
+		delay = 0
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				_ = conn.Close()
+			}()
 			s.ServeConn(conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, tears down in-flight connections, and waits for
+// their handlers. Read deadlines plus explicit conn close guarantee the wait
+// terminates even if a client hangs mid-request.
 func (s *Server) Close() {
 	close(s.closed)
 	if s.ln != nil {
@@ -81,7 +140,19 @@ func (s *Server) Close() {
 			s.logf("listener close: %v", err)
 		}
 	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// connDeadliner is the optional deadline surface of the stream ServeConn is
+// given; net.TCPConn and net.Pipe both provide it.
+type connDeadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
 }
 
 // ServeConn handles one client connection until EOF. Exported so tests can
@@ -91,24 +162,63 @@ func (s *Server) ServeConn(rw interface {
 	Write([]byte) (int, error)
 }) {
 	codec := NewCodec(rw)
+	// Traffic is part of the paper's communication-cost metric; one defer
+	// covers every exit path (recv error, send error, shutdown) so no
+	// bytes are ever dropped from the count.
+	defer func() {
+		in, out := codec.Traffic()
+		s.mu.Lock()
+		s.stats.BytesIn += in
+		s.stats.BytesOut += out
+		s.mu.Unlock()
+	}()
+	dl, _ := rw.(connDeadliner)
 	for {
+		if dl != nil && s.ReadTimeout > 0 {
+			_ = dl.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		var req Request
 		if err := codec.Recv(&req); err != nil {
-			in, out := codec.Traffic()
-			s.mu.Lock()
-			s.stats.BytesIn += in
-			s.stats.BytesOut += out
-			s.mu.Unlock()
+			s.noteConnError("recv", err)
 			return
 		}
+		if req.Attempt > 0 {
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+		}
 		resp := s.handle(&req)
+		if dl != nil && s.WriteTimeout > 0 {
+			_ = dl.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if err := codec.Send(resp); err != nil {
-			s.logf("send error: %v", err)
+			s.noteConnError("send", err)
 			return
 		}
 		if req.Kind == KindShutdown {
 			return
 		}
+	}
+}
+
+// noteConnError classifies a connection teardown into the Stats counters:
+// deadline hits are Timeouts, clean EOF/closure is silent, anything else
+// (mid-stream reset, corrupt frame) is a Reset.
+func (s *Server) noteConnError(op string, err error) {
+	var nerr net.Error
+	switch {
+	case errors.As(err, &nerr) && nerr.Timeout():
+		s.mu.Lock()
+		s.stats.Timeouts++
+		s.mu.Unlock()
+		s.logf("%s timeout: %v", op, err)
+	case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe):
+		// Clean disconnect.
+	default:
+		s.mu.Lock()
+		s.stats.Resets++
+		s.mu.Unlock()
+		s.logf("%s error: %v", op, err)
 	}
 }
 
@@ -129,10 +239,11 @@ func (s *Server) handle(req *Request) *Response {
 		return resp
 
 	case KindPushUpdate:
-		if err := s.acceptUpdate(req); err != nil {
+		deduped, err := s.acceptUpdate(req)
+		if err != nil {
 			return &Response{Error: err.Error()}
 		}
-		return &Response{OK: true}
+		return &Response{OK: true, Deduped: deduped}
 
 	case KindStats:
 		s.mu.Lock()
@@ -157,11 +268,21 @@ func (s *Server) serveSubModel(req *Request) (resp *Response, err error) {
 	if len(req.Importance) != len(s.Model.Layers) {
 		return nil, errors.New("importance layer count mismatch")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	active := s.Model.Derive(req.Importance, req.Budget.ToBudget(), false)
-	sub := s.Model.Extract(active)
-	s.stats.SubModelsServed++
+	// Hold the model lock only for derivation and the parameter snapshot;
+	// Extract copies parameters into a private SubModel, so quantization and
+	// vector flattening run outside the lock instead of serializing every
+	// device behind one fetch.
+	var (
+		active [][]int
+		sub    *modular.SubModel
+	)
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		active = s.Model.Derive(req.Importance, req.Budget.ToBudget(), false)
+		sub = s.Model.Extract(active)
+		s.stats.SubModelsServed++
+	}()
 	s.logf("device %d sub-model: %d modules, %d B", req.DeviceID, sub.NumModules(), sub.BackboneBytes())
 	resp = &Response{OK: true, Active: active}
 	if req.Quant {
@@ -172,21 +293,29 @@ func (s *Server) serveSubModel(req *Request) (resp *Response, err error) {
 	return resp, nil
 }
 
-func (s *Server) acceptUpdate(req *Request) (err error) {
+func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("malformed update: %v", r)
+			deduped, err = false, fmt.Errorf("malformed update: %v", r)
 		}
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// At-most-once application: a retried PushUpdate carries the Seq of the
+	// original. If that Seq was already applied, the first attempt succeeded
+	// but its response was lost — acknowledge without re-aggregating.
+	if req.Seq != 0 && req.Seq <= s.lastSeq[req.DeviceID] {
+		s.stats.Dedups++
+		s.logf("device %d replayed update seq %d (deduped)", req.DeviceID, req.Seq)
+		return true, nil
+	}
 	if len(req.Active) != len(s.Model.Layers) {
-		return errors.New("active layer count mismatch")
+		return false, errors.New("active layer count mismatch")
 	}
 	for l, idx := range req.Active {
 		for _, i := range idx {
 			if i < 0 || i >= s.Model.Layers[l].N() {
-				return fmt.Errorf("active[%d] references module %d of %d", l, i, s.Model.Layers[l].N())
+				return false, fmt.Errorf("active[%d] references module %d of %d", l, i, s.Model.Layers[l].N())
 			}
 		}
 	}
@@ -196,10 +325,13 @@ func (s *Server) acceptUpdate(req *Request) (err error) {
 		vec = nn.DequantizeChunks(req.BackboneQ)
 	}
 	if loadErr := safeLoad(sub, vec); loadErr != nil {
-		return loadErr
+		return false, loadErr
 	}
 	if len(req.Importance) != len(s.Model.Layers) {
-		return errors.New("importance layer count mismatch")
+		return false, errors.New("importance layer count mismatch")
+	}
+	if req.Seq != 0 {
+		s.lastSeq[req.DeviceID] = req.Seq
 	}
 	s.pending = append(s.pending, &modular.Update{Sub: sub, Importance: req.Importance, Weight: req.Weight})
 	s.stats.UpdatesReceived++
@@ -209,7 +341,7 @@ func (s *Server) acceptUpdate(req *Request) (err error) {
 		s.stats.Aggregations++
 		s.logf("aggregated round %d", s.stats.Aggregations)
 	}
-	return nil
+	return false, nil
 }
 
 // FlushAggregation forces aggregation of buffered updates (end of a round).

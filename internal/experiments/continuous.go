@@ -15,6 +15,9 @@ type ContinuousResult struct {
 	MeanAcc map[string]float64
 	// AdaptTime is the mean simulated seconds per adaptation step.
 	AdaptTime map[string]float64
+	// Faults carries the lossy-link outcome tallies when the run injected
+	// network faults (nil on a clean network).
+	Faults *metrics.Counters
 }
 
 // RunContinuous reproduces Figures 10 and 11: model accuracy over repeated
@@ -59,18 +62,20 @@ func runContinuousTask(opt Options, task *fed.Task, salt int64) *ContinuousResul
 		nb.LocalTraining = local
 		nb.CloudCollaboration = cloud
 		nb.TrainCfg.Epochs = opt.PretrainEpochs
+		nb.Faults = opt.faultModel()
 		return nb
 	}
 	na := fed.NewNoAdapt(task, cfg)
 	la := fed.NewLocalAdapt(task, cfg)
 	laCfg := cfg
 	laCfg.FinetuneEpochs = opt.FinetuneEpochs
+	fullNebula := mkNebula(true, true)
 	systems := []sys{
 		{"no-adapt", na, newFleetClients(opt.Seed + 50 + salt)},
 		{"local-adapt", la, newFleetClients(opt.Seed + 50 + salt)},
 		{"nebula-wo-local", mkNebula(false, true), newFleetClients(opt.Seed + 50 + salt)},
 		{"nebula-wo-cloud", mkNebula(true, false), newFleetClients(opt.Seed + 50 + salt)},
-		{"nebula", mkNebula(true, true), newFleetClients(opt.Seed + 50 + salt)},
+		{"nebula", fullNebula, newFleetClients(opt.Seed + 50 + salt)},
 	}
 	for _, s := range systems {
 		s.s.Pretrain(tensor.NewRNG(opt.Seed+60+salt), proxy)
@@ -101,6 +106,9 @@ func runContinuousTask(opt Options, task *fed.Task, salt int64) *ContinuousResul
 		if c.Rounds > 0 {
 			res.AdaptTime[s.name] = c.SimTime / float64(c.Rounds)
 		}
+	}
+	if opt.Faults.Enabled() {
+		res.Faults = fullNebula.Faults.Stats().Counters("link faults — nebula, " + task.Name)
 	}
 	return res
 }

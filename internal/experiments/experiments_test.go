@@ -25,7 +25,7 @@ func micro() Options {
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"fig1a", "fig1b", "fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "ablations"}
+	want := []string{"fig1a", "fig1b", "fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "ablations", "faults"}
 	have := map[string]bool{}
 	for _, r := range Registry() {
 		have[r.ID] = true
@@ -189,5 +189,23 @@ func TestAblationsTable(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("variant %q missing", want)
 		}
+	}
+}
+
+func TestRunFaultsCleanVsLossy(t *testing.T) {
+	o := micro()
+	res := RunFaults(o)
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("faults table rows = %d, want clean+lossy", len(res.Table.Rows))
+	}
+	if res.Table.Rows[0][0] != "clean" || res.Table.Rows[1][0] != "lossy" {
+		t.Fatalf("unexpected row labels: %v / %v", res.Table.Rows[0][0], res.Table.Rows[1][0])
+	}
+	// The default link (25% drop + 5% reset) must actually consult the model.
+	if res.Counters.Get("fetches") == 0 || res.Counters.Get("pushes") == 0 {
+		t.Fatalf("fault counters empty:\n%s", res.Counters)
+	}
+	if res.Spec == "" {
+		t.Fatal("spec not recorded")
 	}
 }

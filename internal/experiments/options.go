@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/edgenet"
 	"repro/internal/fed"
 )
 
@@ -36,6 +37,10 @@ type Options struct {
 
 	// Sub-model sweep (Fig 12).
 	RandomSubModels int
+
+	// Faults replays a seeded lossy edge-cloud link in the online-stage
+	// experiments (nebula-sim -faults). Zero value = clean network.
+	Faults edgenet.FaultConfig
 
 	// Verbose prints progress lines during long runs.
 	Verbose bool
@@ -73,6 +78,20 @@ func (o Options) fedConfig() fed.Config {
 	cfg.LocalEpochs = o.LocalEpochs
 	cfg.FinetuneEpochs = o.FinetuneEpochs
 	return cfg
+}
+
+// faultModel resolves the fault spec into a simulated link (nil = clean). A
+// zero fault seed defaults to the run seed, so a single -seed replays both
+// the experiment and its network faults.
+func (o Options) faultModel() *fed.FaultModel {
+	if !o.Faults.Enabled() {
+		return nil
+	}
+	cfg := o.Faults
+	if cfg.Seed == 0 {
+		cfg.Seed = o.Seed
+	}
+	return fed.NewFaultModel(cfg)
 }
 
 func (o Options) logf(format string, args ...any) {

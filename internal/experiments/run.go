@@ -58,6 +58,9 @@ func Registry() []Runner {
 				if o.Points {
 					r.Fig.FprintPoints(o.Out)
 				}
+				if r.Faults != nil {
+					r.Faults.Fprint(o.Out)
+				}
 				fmt.Fprintln(o.Out)
 			}
 			return nil
@@ -87,6 +90,12 @@ func Registry() []Runner {
 		}},
 		{"ablations", "Design-choice ablations beyond the paper's figures", func(o Options) error {
 			RunAblations(o).Fprint(o.Out)
+			return nil
+		}},
+		{"faults", "Robustness — adaptation over a seeded lossy link (beyond the paper)", func(o Options) error {
+			r := RunFaults(o)
+			r.Table.Fprint(o.Out)
+			r.Counters.Fprint(o.Out)
 			return nil
 		}},
 	}

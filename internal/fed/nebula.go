@@ -60,6 +60,12 @@ type Nebula struct {
 	// Trace optionally receives structured per-round events (nil = off).
 	Trace *trace.Logger
 
+	// Faults optionally replays a lossy edge-cloud link (nil = clean
+	// network). A device whose fetch is lost after retries degrades to its
+	// cached sub-model (or sits the round out if it has none); a device
+	// whose push is lost trains in vain but never stalls aggregation.
+	Faults *FaultModel
+
 	subs       map[int]*modular.SubModel
 	imps       map[int][][]float64
 	hasGatePkg map[int]bool // devices that already hold the selector
@@ -182,64 +188,93 @@ func (s *Nebula) Round(rng *tensor.RNG, clients []*Client) { s.round(rng, client
 
 func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
-	s.Trace.RoundStart(s.costs.Rounds + 1)
+	round := s.costs.Rounds + 1
+	s.Trace.RoundStart(round)
 	var updates []*modular.Update
 	var slot float64
 	for _, c := range part {
 		if s.cfg.DropoutProb > 0 && rng.Float64() < s.cfg.DropoutProb {
 			continue // device dropped out of this round
 		}
+		id := c.Dev.ID
 		imp := s.importanceOf(c)
-		active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
-		held := s.subs[c.Dev.ID]
+		held := s.subs[id]
+		fetchOK, fetchExtra := s.Faults.Fetch(round, id)
 		var sub *modular.SubModel
 		var bytes int64
-		if held != nil && overlapRatio(held.Mapping, active) >= s.RederiveOverlap {
-			// Keep the personalized sub-model; pull the cloud's current
-			// parameters for the held modules and blend them in.
-			cloudSub := s.Model.Extract(held.Mapping)
-			blendSubModels(held, cloudSub, s.PullBlend)
+		switch {
+		case fetchOK:
+			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
+			if held != nil && overlapRatio(held.Mapping, active) >= s.RederiveOverlap {
+				// Keep the personalized sub-model; pull the cloud's current
+				// parameters for the held modules and blend them in.
+				cloudSub := s.Model.Extract(held.Mapping)
+				blendSubModels(held, cloudSub, s.PullBlend)
+				sub = held
+				bytes = cloudSub.BackboneBytes()
+			} else {
+				// First contact or the local task moved: new structure.
+				sub = s.Model.Extract(active)
+				bytes = sub.BackboneBytes()
+			}
+			if !s.hasGatePkg[id] {
+				bytes += sub.SelectorBytes()
+				s.hasGatePkg[id] = true
+			}
+		case held != nil:
+			// Download lost after retries: degrade to the cached sub-model —
+			// train it on fresh local data without this round's cloud pull.
+			s.Faults.NoteFallback()
+			s.Trace.Notef("round %d device %d: fetch lost, serving cached sub-model", round, id)
 			sub = held
-			bytes = cloudSub.BackboneBytes()
-		} else {
-			// First contact or the local task moved: new structure.
-			sub = s.Model.Extract(active)
-			bytes = sub.BackboneBytes()
-		}
-		if !s.hasGatePkg[c.Dev.ID] {
-			bytes += sub.SelectorBytes()
-			s.hasGatePkg[c.Dev.ID] = true
+		default:
+			// No cache to fall back on: sit the round out. The wasted link
+			// time still bounds the slot (the device was trying).
+			s.Faults.NoteSkip()
+			s.Trace.Notef("round %d device %d: fetch lost, no cached sub-model, skipping round", round, id)
+			if fetchExtra > slot {
+				slot = fetchExtra
+			}
+			continue
 		}
 		s.costs.BytesDown += bytes
-		s.subs[c.Dev.ID] = sub
-		s.imps[c.Dev.ID] = imp
+		s.subs[id] = sub
+		s.imps[id] = imp
 		p := c.Mon.Profile()
-		t := p.TransferTime(bytes)
+		t := p.TransferTime(bytes) + fetchExtra
+		var up int64
 		if s.LocalTraining {
 			TrainSubModel(rng, sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
 			upBytes := int64(nn.ParamCount(sub.Params())) * 4 // modules+stem+head; selector is not updated on edge
-			s.costs.BytesUp += upBytes
-			hist := c.Dev.Train.ClassHistogram()
-			cw := make([]float64, len(hist))
-			for ci, n := range hist {
-				cw[ci] = float64(n)
-			}
-			updates = append(updates, &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw})
 			_, fwd, _ := s.Model.SelectionCost(sub.Mapping)
-			t += trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize) + p.TransferTime(upBytes)
+			t += trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
+			pushOK, pushExtra := s.Faults.Push(round, id)
+			t += pushExtra
+			if pushOK {
+				s.costs.BytesUp += upBytes
+				hist := c.Dev.Train.ClassHistogram()
+				cw := make([]float64, len(hist))
+				for ci, n := range hist {
+					cw[ci] = float64(n)
+				}
+				updates = append(updates, &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw})
+				t += p.TransferTime(upBytes)
+				up = upBytes
+			} else {
+				// Upload lost after retries: the local training still
+				// happened (and improved the cached sub-model), but this
+				// round aggregates without the device.
+				s.Trace.Notef("round %d device %d: push lost, round aggregates without it", round, id)
+			}
 		}
 		if t > slot {
 			slot = t
 		}
-		var up int64
-		if s.LocalTraining {
-			up = int64(nn.ParamCount(sub.Params())) * 4
-		}
-		s.Trace.ClientUpdate(s.costs.Rounds+1, c.Dev.ID, sub.NumModules(), bytes, up, t)
+		s.Trace.ClientUpdate(round, id, sub.NumModules(), bytes, up, t)
 	}
 	if len(updates) > 0 {
 		s.Model.AggregateModuleWise(updates)
-		s.Trace.Aggregate(s.costs.Rounds+1, len(updates))
+		s.Trace.Aggregate(round, len(updates))
 	}
 	s.costs.SimTime += slot
 	s.costs.Rounds++

@@ -262,6 +262,62 @@ func TimeToTarget(times, accs []float64, target float64) float64 {
 	return math.NaN()
 }
 
+// Counters is an ordered set of named event tallies — link-fault outcomes,
+// retry counts, dedup hits — printed alongside tables and figures. Insertion
+// order is preserved so output is deterministic.
+type Counters struct {
+	Title string
+	names []string
+	vals  map[string]int64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters(title string) *Counters {
+	return &Counters{Title: title, vals: map[string]int64{}}
+}
+
+// Add increments a counter, registering it on first touch.
+func (c *Counters) Add(name string, delta int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += delta
+}
+
+// Set overwrites a counter, registering it on first touch.
+func (c *Counters) Set(name string, v int64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] = v
+}
+
+// Get returns a counter (0 if never touched).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Fprint renders the counters in insertion order, aligned.
+func (c *Counters) Fprint(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", c.Title)
+	}
+	nameW := 0
+	for _, n := range c.names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for _, n := range c.names {
+		fmt.Fprintf(w, "%-*s  %d\n", nameW, n, c.vals[n])
+	}
+}
+
+// String renders the counters to a string.
+func (c *Counters) String() string {
+	var b strings.Builder
+	c.Fprint(&b)
+	return b.String()
+}
+
 // CSV renders the table as comma-separated values (headers first). Cells
 // containing commas or quotes are quoted.
 func (t *Table) CSV() string {

@@ -124,3 +124,22 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV:\n%q\nwant:\n%q", csv, want)
 	}
 }
+
+func TestCountersInsertionOrderAndArithmetic(t *testing.T) {
+	c := NewCounters("link faults")
+	c.Add("zulu", 2)
+	c.Add("alpha", 1)
+	c.Add("zulu", 3)
+	c.Set("mike", 7)
+	if got := c.Get("zulu"); got != 5 {
+		t.Fatalf("Get(zulu) = %d, want 5", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("Get(missing) = %d, want 0", got)
+	}
+	// Output must follow insertion order, not map or alphabetical order.
+	want := "== link faults ==\nzulu   5\nalpha  1\nmike   7\n"
+	if got := c.String(); got != want {
+		t.Fatalf("String:\n%q\nwant:\n%q", got, want)
+	}
+}
