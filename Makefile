@@ -26,8 +26,10 @@ check: build vet lint race
 test:
 	$(GO) test ./...
 
-# One benchmark per paper table/figure plus kernel/ablation benches.
+# Kernel benchmarks → BENCH_kernels.json (ns/op, allocs/op, speedup vs the
+# naive reference; see docs/PERF.md), then the per-figure benches.
 bench:
+	$(GO) run ./cmd/nebula-bench
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate every table and figure (quick profile).

@@ -163,6 +163,90 @@ func BenchmarkGemm128(b *testing.B) {
 	}
 }
 
+// BenchmarkGemm128Naive is the retained pre-blocking kernel on the same
+// shape; the ratio to BenchmarkGemm128 is the headline speedup recorded in
+// BENCH_kernels.json.
+func BenchmarkGemm128Naive(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	a := tensor.New(128, 128)
+	bb := tensor.New(128, 128)
+	c := tensor.New(128, 128)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(bb, 0, 1)
+	b.SetBytes(128 * 128 * 128 * 2 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.GemmNaive(false, false, 128, 128, 128, 1, a.Data, bb.Data, 0, c.Data)
+	}
+}
+
+// BenchmarkGemmConvShape is the im2col GEMM shape of a 64-channel 3×3×64
+// convolution over a 16×16 plane: [64,576]·[576,256].
+func BenchmarkGemmConvShape(b *testing.B) {
+	benchGemmShape(b, 64, 256, 576, false)
+}
+
+func BenchmarkGemmConvShapeNaive(b *testing.B) {
+	benchGemmShape(b, 64, 256, 576, true)
+}
+
+func benchGemmShape(b *testing.B, m, n, k int, naive bool) {
+	rng := tensor.NewRNG(1)
+	a := tensor.New(m, k)
+	bb := tensor.New(k, n)
+	c := tensor.New(m, n)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(bb, 0, 1)
+	b.SetBytes(int64(m) * int64(n) * int64(k) * 2 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			tensor.GemmNaive(false, false, m, n, k, 1, a.Data, bb.Data, 0, c.Data)
+		} else {
+			tensor.Gemm(false, false, m, n, k, 1, a.Data, bb.Data, 0, c.Data)
+		}
+	}
+}
+
+// BenchmarkDenseStep measures a steady-state Dense forward+backward pair;
+// allocs/op must stay at 0 (pinned by TestDenseZeroAllocSteadyState).
+func BenchmarkDenseStep(b *testing.B) {
+	rng := tensor.NewRNG(8)
+	d := nn.NewDense(rng, 256, 128)
+	x := tensor.New(64, 256)
+	g := tensor.New(64, 128)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	d.Forward(x, true)
+	d.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x, true)
+		d.Backward(g)
+	}
+}
+
+// BenchmarkConvStep measures a steady-state Conv2D forward+backward pair;
+// allocs/op must stay at 0 (pinned by TestConvZeroAllocSteadyState).
+func BenchmarkConvStep(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	conv := nn.NewConv2D(rng, 16, 32, 3, 1, 1)
+	x := tensor.New(16, 16, 12, 12)
+	g := tensor.New(16, 32, 12, 12)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	conv.Forward(x, true)
+	conv.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, true)
+		conv.Backward(g)
+	}
+}
+
 func BenchmarkConvForward(b *testing.B) {
 	rng := tensor.NewRNG(2)
 	conv := nn.NewConv2D(rng, 16, 32, 3, 1, 1)

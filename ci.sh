@@ -26,6 +26,9 @@ fi
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (kernel benches compile and run once)"
+go test -run '^$' -bench 'BenchmarkGemm|BenchmarkDenseStep|BenchmarkConvStep' -benchtime 1x . >/dev/null
+
 if [ "${1:-}" != "" ]; then
     echo "== seed audit (seed $1)"
     go run ./cmd/nebula-sim -exp fig1b -seed "$1" -seed-audit >/dev/null

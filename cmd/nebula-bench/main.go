@@ -1,0 +1,163 @@
+// Command nebula-bench runs the hot-kernel benchmarks and writes
+// BENCH_kernels.json, the machine-readable performance trajectory the repo
+// is held to from PR 3 onward. Each entry records ns/op, B/op and allocs/op;
+// packed-GEMM entries additionally record the speedup over the retained
+// naive reference (tensor.GemmNaive) measured in the same run, on the same
+// machine.
+//
+// Usage:
+//
+//	go run ./cmd/nebula-bench            # writes BENCH_kernels.json
+//	go run ./cmd/nebula-bench -out path  # writes elsewhere
+//
+// docs/PERF.md explains how to read the output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Result is one benchmark row of BENCH_kernels.json.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsNaive is packed-kernel time ÷ naive-kernel time on the same
+	// shape in the same run; 0 when the row has no naive counterpart.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+// Report is the BENCH_kernels.json document.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// gemmBench returns a benchmark closure multiplying [m,k]·[k,n] through
+// either the dispatching Gemm (packed for these shapes) or GemmNaive.
+func gemmBench(m, n, k int, naive bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := tensor.NewRNG(1)
+		a := tensor.New(m, k)
+		bb := tensor.New(k, n)
+		c := tensor.New(m, n)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(bb, 0, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if naive {
+				tensor.GemmNaive(false, false, m, n, k, 1, a.Data, bb.Data, 0, c.Data)
+			} else {
+				tensor.Gemm(false, false, m, n, k, 1, a.Data, bb.Data, 0, c.Data)
+			}
+		}
+	}
+}
+
+// denseStep benchmarks a steady-state Dense forward+backward pair.
+func denseStep(b *testing.B) {
+	rng := tensor.NewRNG(8)
+	d := nn.NewDense(rng, 256, 128)
+	x := tensor.New(64, 256)
+	g := tensor.New(64, 128)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	d.Forward(x, true)
+	d.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x, true)
+		d.Backward(g)
+	}
+}
+
+// convStep benchmarks a steady-state Conv2D forward+backward pair.
+func convStep(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	conv := nn.NewConv2D(rng, 16, 32, 3, 1, 1)
+	x := tensor.New(16, 16, 12, 12)
+	g := tensor.New(16, 32, 12, 12)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	conv.Forward(x, true)
+	conv.Backward(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, true)
+		conv.Backward(g)
+	}
+}
+
+func run(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output path for the kernel benchmark report")
+	flag.Parse()
+
+	// Packed/naive pairs on the two representative shapes: the square
+	// 128×128×128 and the im2col shape of a 64-filter 3×3×64 conv over a
+	// 16×16 plane.
+	pairs := []struct {
+		name    string
+		m, n, k int
+	}{
+		{"gemm_128x128x128", 128, 128, 128},
+		{"gemm_conv_64x256x576", 64, 256, 576},
+	}
+	var results []Result
+	for _, p := range pairs {
+		packed := run(p.name, gemmBench(p.m, p.n, p.k, false))
+		naive := run(p.name+"_naive", gemmBench(p.m, p.n, p.k, true))
+		if packed.NsPerOp > 0 {
+			packed.SpeedupVsNaive = naive.NsPerOp / packed.NsPerOp
+		}
+		results = append(results, packed, naive)
+	}
+	results = append(results,
+		run("dense_step_64x256x128", denseStep),
+		run("conv_step_b16_c16x32_12x12", convStep),
+	)
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "nebula-bench: wrote %s\n", *out)
+}

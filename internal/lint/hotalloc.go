@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// HotAlloc flags `make(` inside function literals passed to the
+// tensor parallel kernels (ParallelFor, ParallelForChunks,
+// ParallelForAtomic). These closures are the training hot path: an
+// allocation there repeats per step (and per chunk, per worker), which is
+// exactly the steady-state garbage the scratch arena exists to eliminate.
+// The canonical fix is tensor.GetScratch/PutScratch, or a buffer owned by
+// the enclosing layer; a deliberate exception needs `//nolint:hotalloc`
+// with a justification.
+type HotAlloc struct{}
+
+// Name implements Analyzer.
+func (HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (HotAlloc) Doc() string {
+	return "make() inside a ParallelFor/ParallelForChunks/ParallelForAtomic body; use the tensor scratch arena"
+}
+
+// DefaultPaths implements Analyzer: everywhere — hot-path allocation is a
+// whole-tree concern, the kernels are called from nn, modular and fed alike.
+func (HotAlloc) DefaultPaths() []string { return nil }
+
+// parallelKernels are the tensor-package entry points whose closure
+// arguments run once per work item on the training hot path.
+var parallelKernels = map[string]bool{
+	"ParallelFor":       true,
+	"ParallelForChunks": true,
+	"ParallelForAtomic": true,
+}
+
+// Check implements Analyzer.
+func (HotAlloc) Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !parallelKernels[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			fn, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fn.Body, func(inner ast.Node) bool {
+				mk, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := mk.Fun.(*ast.Ident); ok && id.Name == "make" {
+					out = append(out, Diagnostic{
+						Pos:   f.Fset.Position(mk.Pos()),
+						Check: "hotalloc",
+						Message: fmt.Sprintf(
+							"make() inside a %s body allocates on every invocation; draw from tensor.GetScratch or a layer-owned buffer", name),
+					})
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -83,6 +83,7 @@ func All() []Analyzer {
 		ErrDrop{},
 		MutexCopy{},
 		SeedRand{},
+		HotAlloc{},
 	}
 }
 

@@ -43,6 +43,7 @@ func TestFixtures(t *testing.T) {
 		"errdrop.go":    {"errdrop"},
 		"mutexcopy.go":  {"mutexcopy"},
 		"seedrand.go":   {"seedrand"},
+		"hotalloc.go":   {"hotalloc"},
 		"clean.go":      nil,
 		"suppressed.go": nil,
 		"nolintbare.go": {"nolint"},

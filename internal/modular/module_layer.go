@@ -172,6 +172,7 @@ func (ml *ModuleLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, [][]float32)
 		rows := ml.routes[i]
 		// dL/df_i = g_i ⊙ dy on routed rows; dL/dg_i = <f_i, dy>.
 		sub := tensor.New(append([]int{len(rows)}, dy.Shape()[1:]...)...)
+		//nolint:hotalloc -- routed sub-batch sizes vary per step and per module; a float64 accumulator this small is not worth an arena class
 		localGateGrad := make([]float64, len(rows))
 		for j, b := range rows {
 			g := ml.gateCache[i][j]

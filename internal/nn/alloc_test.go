@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestDenseZeroAllocSteadyState pins the arena payoff: once buffers are
+// warm, a Dense forward+backward pair performs zero heap allocations.
+func TestDenseZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; alloc counts are meaningless under -race")
+	}
+	rng := tensor.NewRNG(3)
+	d := NewDense(rng, 64, 32)
+	x := tensor.New(32, 64)
+	g := tensor.New(32, 32)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	step := func() {
+		d.Forward(x, true)
+		d.Backward(g)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the arena and the layer buffers
+	}
+	if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+		t.Errorf("Dense forward+backward: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestConvZeroAllocSteadyState is the same invariant for Conv2D, whose seed
+// implementation allocated dw/db/dcol on every backward chunk and an output
+// tensor every forward.
+func TestConvZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates; alloc counts are meaningless under -race")
+	}
+	rng := tensor.NewRNG(4)
+	c := NewConv2D(rng, 8, 16, 3, 1, 1)
+	x := tensor.New(8, 8, 16, 16)
+	g := tensor.New(8, 16, 16, 16)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	step := func() {
+		c.Forward(x, true)
+		c.Backward(g)
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+		t.Errorf("Conv2D forward+backward: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestConvScratchShrinksAfterSmallBatch is the regression test for the
+// memory-never-shrinks bug: the seed Conv2D kept per-sample im2col tensors
+// sized to the largest batch ever seen. With arena-backed scratch, the
+// retained im2col buffer must track the live batch.
+func TestConvScratchShrinksAfterSmallBatch(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	c := NewConv2D(rng, 4, 8, 3, 1, 1)
+	big := tensor.New(32, 4, 12, 12)
+	small := tensor.New(2, 4, 12, 12)
+	rng.FillNormal(big, 0, 1)
+	rng.FillNormal(small, 0, 1)
+
+	c.Forward(big, true)
+	if c.colsBuf == nil {
+		t.Fatal("training forward retained no im2col scratch")
+	}
+	bigRetained := len(c.colsBuf.Data)
+
+	c.Forward(small, true)
+	smallRetained := len(c.colsBuf.Data)
+	if smallRetained >= bigRetained {
+		t.Errorf("retained scratch did not shrink: %d elements after batch=32, %d after batch=2",
+			bigRetained, smallRetained)
+	}
+	if want := 2 * 4 * 3 * 3 * 12 * 12; smallRetained != want {
+		t.Errorf("retained scratch = %d elements, want batch*kdim*cols = %d", smallRetained, want)
+	}
+
+	// Eval forwards must not pin im2col scratch at all.
+	c.Forward(big, false)
+	if c.colsBuf != nil {
+		t.Errorf("eval forward retained %d elements of im2col scratch, want none", len(c.colsBuf.Data))
+	}
+}
+
+// TestConvRepeatedBackward covers the deep-supervision pattern (AdaptiveNet
+// backprops a shared trunk once per exit): the im2col matrices from one
+// training forward must stay valid across multiple Backward calls.
+func TestConvRepeatedBackward(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	c := NewConv2D(rng, 3, 6, 3, 1, 1)
+	x := tensor.New(4, 3, 8, 8)
+	g := tensor.New(4, 6, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(g, 0, 1)
+	c.Forward(x, true)
+	dx1 := c.Backward(g).Clone()
+	dx2 := c.Backward(g)
+	for i := range dx1.Data {
+		if dx1.Data[i] != dx2.Data[i] {
+			t.Fatalf("repeated Backward diverges at %d", i)
+		}
+	}
+}

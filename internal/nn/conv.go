@@ -10,6 +10,14 @@ import (
 // implemented as im2col + GEMM. Weight has logical shape
 // [outC, inC, kh, kw] so that width-slicing (HeteroFL) can take nested
 // channel prefixes along both channel dimensions.
+//
+// All scratch is arena-backed and sized to the live batch: the im2col
+// matrices are one Scratch released after Backward (or immediately after an
+// eval Forward), so retained memory shrinks when batches do, and per-chunk
+// gradient accumulators come from the arena instead of per-call make. The
+// output and input-gradient tensors are layer-owned and reused (valid until
+// the layer's next Forward/Backward). Steady-state forward+backward does
+// zero heap allocations.
 type Conv2D struct {
 	InC, OutC  int
 	KH, KW     int
@@ -19,9 +27,22 @@ type Conv2D struct {
 	Bias       *Param // [outC]
 	inH, inW   int
 	outH, outW int
+	batch      int
 
-	cols  []*tensor.Tensor // cached per-sample im2col matrices
-	batch int
+	colsBuf *tensor.Scratch // im2col matrices for the current batch, [batch][kdim*cols]
+	y       *tensor.Tensor  // reused output
+	dx      *tensor.Tensor  // reused input gradient
+
+	// Per-call state threaded through struct fields so the parallel bodies
+	// can be allocated once: closures handed to the ParallelFor kernels
+	// escape, so a fresh literal per call would be a steady-state heap
+	// allocation.
+	fwdX    *tensor.Tensor
+	bwdGrad *tensor.Tensor
+	fwdBody func(b int)
+	bwdBody func(chunk, s, e int)
+	dwParts []*tensor.Scratch // per-chunk weight-gradient partials
+	dbParts []*tensor.Scratch // per-chunk bias-gradient partials
 }
 
 // NewConv2D creates a convolution with He initialization.
@@ -35,7 +56,8 @@ func NewConv2D(rng *tensor.RNG, inC, outC, kernel, stride, pad int) *Conv2D {
 	return c
 }
 
-// Forward applies the convolution. Samples are processed in parallel.
+// Forward applies the convolution. Samples are processed in parallel; each
+// per-sample GEMM detects the enclosing parallel region and runs serial.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank("Conv2D", x, 4)
 	batch := x.Dim(0)
@@ -48,78 +70,111 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.batch = batch
 	kdim := c.InC * c.KH * c.KW
 	cols := c.outH * c.outW
-	if cap(c.cols) < batch {
-		c.cols = make([]*tensor.Tensor, batch)
-	}
-	c.cols = c.cols[:batch]
-	y := tensor.New(batch, c.OutC, c.outH, c.outW)
-	inStride := c.InC * c.inH * c.inW
-	outStride := c.OutC * cols
-	w := c.Weight.W.Data // flat [outC, kdim]
-	tensor.ParallelForAtomic(batch, func(b int) {
-		if c.cols[b] == nil || c.cols[b].Len() != kdim*cols {
-			c.cols[b] = tensor.New(kdim, cols)
-		}
-		col := c.cols[b]
-		tensor.Im2Col(x.Data[b*inStride:(b+1)*inStride], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, col.Data)
-		out := y.Data[b*outStride : (b+1)*outStride]
-		tensor.Gemm(false, false, c.OutC, cols, kdim, 1, w, col.Data, 0, out)
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.Bias.W.Data[oc]
-			orow := out[oc*cols : (oc+1)*cols]
-			for i := range orow {
-				orow[i] += bias
+	tensor.PutScratch(c.colsBuf) // previous batch's matrices, if any
+	c.colsBuf = tensor.GetScratch(batch * kdim * cols)
+	c.y = reuse4(c.y, batch, c.OutC, c.outH, c.outW)
+	c.fwdX = x
+	if c.fwdBody == nil {
+		c.fwdBody = func(b int) {
+			kdim := c.InC * c.KH * c.KW
+			cols := c.outH * c.outW
+			inStride := c.InC * c.inH * c.inW
+			outStride := c.OutC * cols
+			col := c.colsBuf.Data[b*kdim*cols : (b+1)*kdim*cols]
+			tensor.Im2Col(c.fwdX.Data[b*inStride:(b+1)*inStride], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, col)
+			out := c.y.Data[b*outStride : (b+1)*outStride]
+			tensor.Gemm(false, false, c.OutC, cols, kdim, 1, c.Weight.W.Data, col, 0, out)
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := c.Bias.W.Data[oc]
+				orow := out[oc*cols : (oc+1)*cols]
+				for i := range orow {
+					orow[i] += bias
+				}
 			}
 		}
-	})
-	return y
+	}
+	tensor.ParallelForAtomic(batch, c.fwdBody)
+	if !train {
+		// No Backward coming: release the im2col matrices now instead of
+		// pinning a batch's worth of scratch through evaluation.
+		tensor.PutScratch(c.colsBuf)
+		c.colsBuf = nil
+	}
+	return c.y
 }
 
 // Backward accumulates weight/bias gradients and returns the input gradient.
+// It reads the im2col matrices recorded by the last Forward(train=true);
+// they stay valid for repeated Backward calls (deep-supervision backprops a
+// shared trunk once per exit) and are released by the next Forward.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.colsBuf == nil {
+		panic("nn: Conv2D.Backward without a preceding Forward(train=true)")
+	}
 	batch := c.batch
-	kdim := c.InC * c.KH * c.KW
-	cols := c.outH * c.outW
-	outStride := c.OutC * cols
-	inStride := c.InC * c.inH * c.inW
-	dx := tensor.New(batch, c.InC, c.inH, c.inW)
+	c.dx = reuse4(c.dx, batch, c.InC, c.inH, c.inW)
 
 	// Weight gradients accumulate across samples; each parallel chunk fills
-	// a private accumulator, and the partials are reduced in chunk order so
-	// the floating-point sum is deterministic for a fixed worker count.
+	// a private arena-backed accumulator, and the partials are reduced in
+	// chunk order so the floating-point sum is deterministic for a fixed
+	// worker count.
 	maxChunks := tensor.Parallelism
 	if maxChunks < 1 {
 		maxChunks = 1
 	}
-	dws := make([][]float32, maxChunks)
-	dbs := make([][]float32, maxChunks)
-	used := tensor.ParallelForChunks(batch, func(chunk, s, e int) {
-		dw := make([]float32, c.OutC*kdim)
-		db := make([]float32, c.OutC)
-		dcol := make([]float32, kdim*cols)
-		for b := s; b < e; b++ {
-			g := grad.Data[b*outStride : (b+1)*outStride]
-			// dW += g · colᵀ
-			tensor.Gemm(false, true, c.OutC, kdim, cols, 1, g, c.cols[b].Data, 1, dw)
-			for oc := 0; oc < c.OutC; oc++ {
-				var sum float32
-				for _, v := range g[oc*cols : (oc+1)*cols] {
-					sum += v
-				}
-				db[oc] += sum
-			}
-			// dcol = Wᵀ · g
-			tensor.Gemm(true, false, kdim, cols, c.OutC, 1, c.Weight.W.Data, g, 0, dcol)
-			tensor.Col2Im(dcol, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dx.Data[b*inStride:(b+1)*inStride])
-		}
-		dws[chunk] = dw
-		dbs[chunk] = db
-	})
-	for chunk := 0; chunk < used; chunk++ {
-		tensor.Axpy(1, dws[chunk], c.Weight.G.Data)
-		tensor.Axpy(1, dbs[chunk], c.Bias.G.Data)
+	if cap(c.dwParts) < maxChunks {
+		c.dwParts = make([]*tensor.Scratch, maxChunks)
+		c.dbParts = make([]*tensor.Scratch, maxChunks)
 	}
-	return dx
+	c.dwParts = c.dwParts[:maxChunks]
+	c.dbParts = c.dbParts[:maxChunks]
+	c.bwdGrad = grad
+	if c.bwdBody == nil {
+		c.bwdBody = func(chunk, s, e int) {
+			kdim := c.InC * c.KH * c.KW
+			cols := c.outH * c.outW
+			outStride := c.OutC * cols
+			inStride := c.InC * c.inH * c.inW
+			dw := tensor.GetScratch(c.OutC * kdim)
+			db := tensor.GetScratch(c.OutC)
+			dcol := tensor.GetScratch(kdim * cols)
+			dw.Zero()
+			db.Zero()
+			for b := s; b < e; b++ {
+				g := c.bwdGrad.Data[b*outStride : (b+1)*outStride]
+				// dW += g · colᵀ
+				col := c.colsBuf.Data[b*kdim*cols : (b+1)*kdim*cols]
+				tensor.Gemm(false, true, c.OutC, kdim, cols, 1, g, col, 1, dw.Data)
+				for oc := 0; oc < c.OutC; oc++ {
+					var sum float32
+					for _, v := range g[oc*cols : (oc+1)*cols] {
+						sum += v
+					}
+					db.Data[oc] += sum
+				}
+				// dcol = Wᵀ · g
+				tensor.Gemm(true, false, kdim, cols, c.OutC, 1, c.Weight.W.Data, g, 0, dcol.Data)
+				dxb := c.dx.Data[b*inStride : (b+1)*inStride]
+				for i := range dxb {
+					dxb[i] = 0
+				}
+				tensor.Col2Im(dcol.Data, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dxb)
+			}
+			c.dwParts[chunk] = dw
+			c.dbParts[chunk] = db
+			tensor.PutScratch(dcol)
+		}
+	}
+	used := tensor.ParallelForChunks(batch, c.bwdBody)
+	for chunk := 0; chunk < used; chunk++ {
+		tensor.Axpy(1, c.dwParts[chunk].Data, c.Weight.G.Data)
+		tensor.Axpy(1, c.dbParts[chunk].Data, c.Bias.G.Data)
+		tensor.PutScratch(c.dwParts[chunk])
+		tensor.PutScratch(c.dbParts[chunk])
+		c.dwParts[chunk] = nil
+		c.dbParts[chunk] = nil
+	}
+	return c.dx
 }
 
 // Params returns the kernel and bias parameters.

@@ -5,12 +5,19 @@ import (
 )
 
 // Dense is a fully connected layer: y = x·Wᵀ + b with W of shape [out, in].
+//
+// The output and input-gradient tensors are owned by the layer and reused
+// across steps (valid until the next Forward/Backward); with the packed GEMM
+// underneath, a steady-state forward+backward pair performs zero heap
+// allocations.
 type Dense struct {
 	In, Out int
 	Weight  *Param // [out, in]
 	Bias    *Param // [out]
 
-	x *tensor.Tensor // cached input [batch, in]
+	x  *tensor.Tensor // cached input [batch, in]
+	y  *tensor.Tensor // reused output [batch, out]
+	dx *tensor.Tensor // reused input gradient [batch, in]
 }
 
 // NewDense creates a dense layer with He initialization.
@@ -30,7 +37,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank("Dense", x, 2)
 	batch := x.Dim(0)
 	d.x = x
-	y := tensor.New(batch, d.Out)
+	d.y = reuse2(d.y, batch, d.Out)
+	y := d.y
 	// y = x · Wᵀ
 	tensor.Gemm(false, true, batch, d.Out, d.In, 1, x.Data, d.Weight.W.Data, 0, y.Data)
 	for b := 0; b < batch; b++ {
@@ -53,7 +61,8 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			d.Bias.G.Data[o] += gv
 		}
 	}
-	dx := tensor.New(batch, d.In)
+	d.dx = reuse2(d.dx, batch, d.In)
+	dx := d.dx
 	// dx = grad · W
 	tensor.Gemm(false, false, batch, d.In, d.Out, 1, grad.Data, d.Weight.W.Data, 0, dx.Data)
 	return dx

@@ -6,10 +6,12 @@ import (
 	"repro/internal/tensor"
 )
 
-// AvgPool2D is 2-D average pooling over [batch, C, H, W] tensors.
+// AvgPool2D is 2-D average pooling over [batch, C, H, W] tensors. Output
+// and input-gradient buffers are layer-owned and reused across steps.
 type AvgPool2D struct {
 	Size, Stride int
 	inShape      []int
+	y, dx        *tensor.Tensor
 }
 
 // NewAvgPool2D creates an average pooling layer.
@@ -24,7 +26,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := tensor.ConvOutSize(h, p.Size, p.Stride, 0)
 	ow := tensor.ConvOutSize(w, p.Size, p.Stride, 0)
 	p.inShape = x.Shape()
-	y := tensor.New(batch, c, oh, ow)
+	p.y = reuse4(p.y, batch, c, oh, ow)
+	y := p.y
 	planeIn, planeOut := h*w, oh*ow
 	for bc := 0; bc < batch*c; bc++ {
 		in := x.Data[bc*planeIn : (bc+1)*planeIn]
@@ -58,7 +61,9 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward spreads each gradient uniformly over its window.
 func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	p.dx = reuse4(p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+	dx := p.dx
+	dx.Zero() // the window loop below accumulates
 	batch, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	oh, ow := grad.Dim(2), grad.Dim(3)
 	planeIn, planeOut := h*w, oh*ow
@@ -122,6 +127,7 @@ type LayerNorm struct {
 
 	xhat   *tensor.Tensor
 	invStd []float32
+	y, dx  *tensor.Tensor
 }
 
 // NewLayerNorm creates a layer normalization over feat features.
@@ -140,8 +146,9 @@ func NewLayerNorm(feat int) *LayerNorm {
 func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank("LayerNorm", x, 2)
 	batch := x.Dim(0)
-	y := tensor.New(batch, ln.Feat)
-	ln.xhat = tensor.New(batch, ln.Feat)
+	ln.y = reuse2(ln.y, batch, ln.Feat)
+	y := ln.y
+	ln.xhat = reuse2(ln.xhat, batch, ln.Feat)
 	if len(ln.invStd) != batch {
 		ln.invStd = make([]float32, batch)
 	}
@@ -175,7 +182,8 @@ func (ln *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (ln *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch := grad.Dim(0)
 	n := float32(ln.Feat)
-	dx := tensor.New(batch, ln.Feat)
+	ln.dx = reuse2(ln.dx, batch, ln.Feat)
+	dx := ln.dx
 	for b := 0; b < batch; b++ {
 		grow := grad.Row(b)
 		xrow := ln.xhat.Row(b)

@@ -5,10 +5,16 @@ import (
 )
 
 // MaxPool2D is a 2-D max pooling layer over [batch, C, H, W] tensors.
+// Output and input-gradient buffers are layer-owned and reused; the forward
+// body closure is allocated once (closures given to the parallel kernels
+// escape) and reads its per-call state through the struct.
 type MaxPool2D struct {
 	Size, Stride int
 	argmax       []int32
 	inShape      []int
+	y, dx        *tensor.Tensor
+	fwdX         *tensor.Tensor
+	fwdBody      func(bc int)
 }
 
 // NewMaxPool2D creates a pooling layer with the given window and stride.
@@ -23,51 +29,60 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := tensor.ConvOutSize(h, p.Size, p.Stride, 0)
 	ow := tensor.ConvOutSize(w, p.Size, p.Stride, 0)
 	p.inShape = x.Shape()
-	y := tensor.New(batch, c, oh, ow)
+	p.y = reuse4(p.y, batch, c, oh, ow)
+	y := p.y
 	if cap(p.argmax) < y.Len() {
 		p.argmax = make([]int32, y.Len())
 	}
 	p.argmax = p.argmax[:y.Len()]
-	planeIn := h * w
-	planeOut := oh * ow
-	tensor.ParallelForAtomic(batch*c, func(bc int) {
-		in := x.Data[bc*planeIn : (bc+1)*planeIn]
-		out := y.Data[bc*planeOut : (bc+1)*planeOut]
-		am := p.argmax[bc*planeOut : (bc+1)*planeOut]
-		i := 0
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				best := int32(-1)
-				var bm float32
-				for ky := 0; ky < p.Size; ky++ {
-					sy := oy*p.Stride + ky
-					if sy >= h {
-						break
-					}
-					for kx := 0; kx < p.Size; kx++ {
-						sx := ox*p.Stride + kx
-						if sx >= w {
+	p.fwdX = x
+	if p.fwdBody == nil {
+		p.fwdBody = func(bc int) {
+			h, w := p.inShape[2], p.inShape[3]
+			oh, ow := p.y.Dim(2), p.y.Dim(3)
+			planeIn := h * w
+			planeOut := oh * ow
+			in := p.fwdX.Data[bc*planeIn : (bc+1)*planeIn]
+			out := p.y.Data[bc*planeOut : (bc+1)*planeOut]
+			am := p.argmax[bc*planeOut : (bc+1)*planeOut]
+			i := 0
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := int32(-1)
+					var bm float32
+					for ky := 0; ky < p.Size; ky++ {
+						sy := oy*p.Stride + ky
+						if sy >= h {
 							break
 						}
-						v := in[sy*w+sx]
-						if best < 0 || v > bm {
-							bm = v
-							best = int32(sy*w + sx)
+						for kx := 0; kx < p.Size; kx++ {
+							sx := ox*p.Stride + kx
+							if sx >= w {
+								break
+							}
+							v := in[sy*w+sx]
+							if best < 0 || v > bm {
+								bm = v
+								best = int32(sy*w + sx)
+							}
 						}
 					}
+					out[i] = bm
+					am[i] = best
+					i++
 				}
-				out[i] = bm
-				am[i] = best
-				i++
 			}
 		}
-	})
+	}
+	tensor.ParallelForAtomic(batch*c, p.fwdBody)
 	return y
 }
 
 // Backward routes each gradient to its recorded argmax position.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	p.dx = reuse4(p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+	dx := p.dx
+	dx.Zero() // the scatter below accumulates
 	batch, c := p.inShape[0], p.inShape[1]
 	planeIn := p.inShape[2] * p.inShape[3]
 	planeOut := grad.Dim(2) * grad.Dim(3)
@@ -95,6 +110,7 @@ func (p *MaxPool2D) Cost(inElems int) (int, int) {
 // [batch, C] tensor; the standard head input for ResNet-style models.
 type GlobalAvgPool struct {
 	inShape []int
+	y, dx   *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -105,7 +121,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank("GlobalAvgPool", x, 4)
 	batch, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	p.inShape = x.Shape()
-	y := tensor.New(batch, c)
+	p.y = reuse2(p.y, batch, c)
+	y := p.y
 	plane := h * w
 	inv := 1 / float32(plane)
 	for bc := 0; bc < batch*c; bc++ {
@@ -120,7 +137,8 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward spreads each gradient uniformly over its plane.
 func (p *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	p.dx = reuse4(p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+	dx := p.dx
 	plane := p.inShape[2] * p.inShape[3]
 	inv := 1 / float32(plane)
 	for bc, gv := range grad.Data {

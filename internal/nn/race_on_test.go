@@ -1,0 +1,9 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc steady-state tests skip under -race: the race runtime
+// allocates shadow state on instrumented accesses, so AllocsPerRun counts
+// detector bookkeeping, not hot-path garbage.
+const raceEnabled = true

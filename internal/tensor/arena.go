@@ -1,0 +1,72 @@
+package tensor
+
+import "sync"
+
+// Scratch is a pooled float32 buffer drawn from the package arena. Contents
+// are unspecified on Get; every consumer must fully overwrite (or explicitly
+// zero) the region it uses before reading it back. See docs/PERF.md for the
+// ownership rules.
+type Scratch struct {
+	// Data is the usable region, sized to the Get request.
+	Data []float32
+	// class is the size-class bit width, or -1 for oversized one-shot
+	// buffers that are not returned to a pool.
+	class int
+}
+
+// Size classes are powers of two between 1<<scratchMinBits and
+// 1<<scratchMaxBits elements. Requests above the top class fall back to a
+// plain allocation so a single huge call cannot pin memory in the pools
+// forever (sync.Pool entries are additionally dropped by the GC).
+const (
+	scratchMinBits = 8
+	scratchMaxBits = 24
+)
+
+var scratchPools [scratchMaxBits - scratchMinBits + 1]sync.Pool
+
+// scratchClass returns the smallest class whose capacity holds n elements,
+// or -1 when n exceeds the largest class.
+func scratchClass(n int) int {
+	for bits := scratchMinBits; bits <= scratchMaxBits; bits++ {
+		if n <= 1<<bits {
+			return bits
+		}
+	}
+	return -1
+}
+
+// GetScratch returns a buffer with len(Data) == n from the arena. In steady
+// state (a warm pool) it performs no heap allocation; a miss allocates the
+// full size class so the buffer is reusable for any request of its class.
+// Buffers are NOT zeroed.
+func GetScratch(n int) *Scratch {
+	class := scratchClass(n)
+	if class < 0 {
+		return &Scratch{Data: make([]float32, n), class: -1}
+	}
+	if s, ok := scratchPools[class-scratchMinBits].Get().(*Scratch); ok && s != nil {
+		s.Data = s.Data[:n]
+		return s
+	}
+	return &Scratch{Data: make([]float32, n, 1<<class)[:n], class: class}
+}
+
+// PutScratch returns s to the arena. The caller must not touch s.Data after
+// the call. Put of a nil scratch is a no-op so teardown paths can be
+// unconditional.
+func PutScratch(s *Scratch) {
+	if s == nil || s.class < 0 {
+		return
+	}
+	s.Data = s.Data[:0]
+	scratchPools[s.class-scratchMinBits].Put(s)
+}
+
+// Zero clears the usable region. Kept as a method so callers that need
+// zero-initialized scratch (gradient accumulators) state it explicitly.
+func (s *Scratch) Zero() {
+	for i := range s.Data {
+		s.Data[i] = 0
+	}
+}

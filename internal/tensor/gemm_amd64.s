@@ -1,0 +1,201 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmKernel6x8SSE(a, b, c *float32, k, ldc, mode int)
+//
+// 6×8 GEMM micro-kernel over packed panels (see pack.go for the layouts):
+//
+//   a: A panel, k steps of 6 contiguous floats (one per C row)
+//   b: B panel, k steps of 8 contiguous floats (one per C column)
+//   c: top-left of the C tile, row stride ldc floats
+//
+// modes: 0 = C = acc (acc starts zero), 1 = C += acc (acc starts zero),
+//        2 = C = acc (acc preloaded from C).
+//
+// Register plan: X4..X15 hold the 6×8 accumulator (two 4-lane vectors per
+// row), X0/X1 hold the current B row, X2/X3 are broadcast/multiply temps.
+// SI walks the A panel (+24 bytes per k step), DX walks the B panel (+32),
+// R8 walks C rows by BX = ldc*4 bytes. Every arithmetic instruction is a
+// single-rounded IEEE float32 op in ascending-p order, so the result is
+// bitwise identical to the portable goGemmKernel6x8.
+TEXT ·gemmKernel6x8SSE(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ k+24(FP), CX
+	MOVQ ldc+32(FP), BX
+	MOVQ mode+40(FP), AX
+	SHLQ $2, BX            // row stride in bytes
+
+	CMPQ AX, $2
+	JEQ  preload
+
+	// modes 0/1: zero the accumulator
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	XORPS X8, X8
+	XORPS X9, X9
+	XORPS X10, X10
+	XORPS X11, X11
+	XORPS X12, X12
+	XORPS X13, X13
+	XORPS X14, X14
+	XORPS X15, X15
+	JMP  kcheck
+
+preload:
+	// mode 2: acc = C
+	MOVQ   DI, R8
+	MOVUPS (R8), X4
+	MOVUPS 16(R8), X5
+	ADDQ   BX, R8
+	MOVUPS (R8), X6
+	MOVUPS 16(R8), X7
+	ADDQ   BX, R8
+	MOVUPS (R8), X8
+	MOVUPS 16(R8), X9
+	ADDQ   BX, R8
+	MOVUPS (R8), X10
+	MOVUPS 16(R8), X11
+	ADDQ   BX, R8
+	MOVUPS (R8), X12
+	MOVUPS 16(R8), X13
+	ADDQ   BX, R8
+	MOVUPS (R8), X14
+	MOVUPS 16(R8), X15
+
+kcheck:
+	TESTQ CX, CX
+	JZ    store
+
+kloop:
+	MOVUPS (DX), X0        // b[p][0:4]
+	MOVUPS 16(DX), X1      // b[p][4:8]
+
+	MOVSS  (SI), X2        // broadcast a[p][0]
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MULPS  X0, X2
+	MULPS  X1, X3
+	ADDPS  X2, X4
+	ADDPS  X3, X5
+
+	MOVSS  4(SI), X2       // a[p][1]
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MULPS  X0, X2
+	MULPS  X1, X3
+	ADDPS  X2, X6
+	ADDPS  X3, X7
+
+	MOVSS  8(SI), X2       // a[p][2]
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MULPS  X0, X2
+	MULPS  X1, X3
+	ADDPS  X2, X8
+	ADDPS  X3, X9
+
+	MOVSS  12(SI), X2      // a[p][3]
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MULPS  X0, X2
+	MULPS  X1, X3
+	ADDPS  X2, X10
+	ADDPS  X3, X11
+
+	MOVSS  16(SI), X2      // a[p][4]
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MULPS  X0, X2
+	MULPS  X1, X3
+	ADDPS  X2, X12
+	ADDPS  X3, X13
+
+	MOVSS  20(SI), X2      // a[p][5]
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MULPS  X0, X2
+	MULPS  X1, X3
+	ADDPS  X2, X14
+	ADDPS  X3, X15
+
+	ADDQ $24, SI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  kloop
+
+store:
+	CMPQ AX, $1
+	JEQ  addstore
+
+	// modes 0/2: C = acc
+	MOVQ   DI, R8
+	MOVUPS X4, (R8)
+	MOVUPS X5, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS X6, (R8)
+	MOVUPS X7, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS X8, (R8)
+	MOVUPS X9, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS X10, (R8)
+	MOVUPS X11, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS X12, (R8)
+	MOVUPS X13, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS X14, (R8)
+	MOVUPS X15, 16(R8)
+	RET
+
+addstore:
+	// mode 1: C = C + acc (ADDPS src into loaded C keeps the C+acc operand
+	// order bitwise; IEEE addition is commutative either way)
+	MOVQ   DI, R8
+	MOVUPS (R8), X0
+	MOVUPS 16(R8), X1
+	ADDPS  X4, X0
+	ADDPS  X5, X1
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS (R8), X0
+	MOVUPS 16(R8), X1
+	ADDPS  X6, X0
+	ADDPS  X7, X1
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS (R8), X0
+	MOVUPS 16(R8), X1
+	ADDPS  X8, X0
+	ADDPS  X9, X1
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS (R8), X0
+	MOVUPS 16(R8), X1
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS (R8), X0
+	MOVUPS 16(R8), X1
+	ADDPS  X12, X0
+	ADDPS  X13, X1
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	ADDQ   BX, R8
+	MOVUPS (R8), X0
+	MOVUPS 16(R8), X1
+	ADDPS  X14, X0
+	ADDPS  X15, X1
+	MOVUPS X0, (R8)
+	MOVUPS X1, 16(R8)
+	RET

@@ -1,0 +1,18 @@
+//go:build amd64
+
+package tensor
+
+// haveAsmKernel reports whether kernel6x8 is the SSE assembly version; the
+// cross-check test uses it to know when comparing against goGemmKernel6x8 is
+// meaningful.
+const haveAsmKernel = true
+
+// kernel6x8 computes one mr×nr C tile from packed panels; see
+// goGemmKernel6x8 for the mode contract. SSE2 is part of the amd64 baseline,
+// so this path needs no CPU-feature probing.
+func kernel6x8(a, b, c []float32, k, ldc, mode int) {
+	gemmKernel6x8SSE(&a[0], &b[0], &c[0], k, ldc, mode)
+}
+
+//go:noescape
+func gemmKernel6x8SSE(a, b, c *float32, k, ldc, mode int)

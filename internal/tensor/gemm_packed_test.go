@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fillRand populates a slice with values in (-1, 1).
+func fillRand(rng *rand.Rand, s []float32) {
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+}
+
+// gemmCase runs one (variant, size, alpha, beta) comparison of the public
+// Gemm against GemmNaive, and — when the combination is packed-eligible —
+// of gemmPacked directly against the naive kernel (covering sizes the
+// dispatcher would route to the naive path, so edge tiles get exercised at
+// n < nr too). All comparisons are bitwise: the packed kernel's summation
+// chains replicate the reference ordering exactly.
+func gemmCase(t *testing.T, rng *rand.Rand, transA, transB bool, m, n, k int, alpha, beta float32) {
+	t.Helper()
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	cRef := make([]float32, m*n)
+	fillRand(rng, a)
+	fillRand(rng, b)
+	fillRand(rng, cRef)
+
+	cGot := append([]float32(nil), cRef...)
+	want := append([]float32(nil), cRef...)
+	GemmNaive(transA, transB, m, n, k, alpha, a, b, beta, want)
+
+	Gemm(transA, transB, m, n, k, alpha, a, b, beta, cGot)
+	for i := range want {
+		if want[i] != cGot[i] {
+			t.Fatalf("Gemm transA=%v transB=%v m=%d n=%d k=%d alpha=%v beta=%v: c[%d]=%v, naive %v",
+				transA, transB, m, n, k, alpha, beta, i, cGot[i], want[i])
+		}
+	}
+
+	if alpha == 1 && (beta == 0 || beta == 1) && k > 0 && m > 0 && n > 0 {
+		cPacked := append([]float32(nil), cRef...)
+		gemmPacked(transA, transB, m, n, k, a, b, beta, cPacked)
+		for i := range want {
+			if want[i] != cPacked[i] {
+				t.Fatalf("gemmPacked transA=%v transB=%v m=%d n=%d k=%d beta=%v: c[%d]=%v, naive %v",
+					transA, transB, m, n, k, beta, i, cPacked[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmPackedDifferential pins the packed kernel against the retained
+// naive reference across all four transpose variants, odd/prime and
+// tile-boundary sizes in 1..67, and alpha/beta ∈ {0, 1, 0.5}.
+func TestGemmPackedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := [][3]int{
+		{1, 1, 1}, {1, 8, 1}, {2, 3, 5}, {7, 5, 9}, {5, 7, 11},
+		{6, 8, 13}, {6, 8, 1}, {12, 16, 8}, {13, 17, 19}, {17, 13, 23},
+		{23, 29, 31}, {31, 37, 7}, {37, 31, 41}, {43, 47, 3}, {48, 64, 32},
+		{53, 59, 61}, {61, 67, 2}, {67, 61, 53}, {64, 48, 67}, {1, 67, 67},
+		{67, 1, 67}, {67, 67, 1}, {6, 16, 67}, {18, 24, 66},
+	}
+	alphabeta := []float32{0, 1, 0.5}
+	for _, sz := range sizes {
+		for _, ta := range []bool{false, true} {
+			for _, tb := range []bool{false, true} {
+				for _, alpha := range alphabeta {
+					for _, beta := range alphabeta {
+						gemmCase(t, rng, ta, tb, sz[0], sz[1], sz[2], alpha, beta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmPackedFuzz hammers random shapes in 1..67 with random variants;
+// a light randomized sweep on top of the structured table above.
+func TestGemmPackedFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	iters := 150
+	if testing.Short() {
+		iters = 30
+	}
+	for it := 0; it < iters; it++ {
+		m := 1 + rng.Intn(67)
+		n := 1 + rng.Intn(67)
+		k := 1 + rng.Intn(67)
+		alpha := []float32{0, 1, 0.5}[rng.Intn(3)]
+		beta := []float32{0, 1, 0.5}[rng.Intn(3)]
+		gemmCase(t, rng, rng.Intn(2) == 1, rng.Intn(2) == 1, m, n, k, alpha, beta)
+	}
+}
+
+// TestGemmValidation covers the shape-carrying operand checks for all four
+// transpose variants: an undersized operand must panic with a message naming
+// the operand and the required extent, not an index-out-of-range from the
+// middle of the kernel.
+func TestGemmValidation(t *testing.T) {
+	const m, n, k = 6, 8, 5
+	good := func(sz int) []float32 { return make([]float32, sz) }
+	for _, ta := range []bool{false, true} {
+		for _, tb := range []bool{false, true} {
+			cases := []struct {
+				name    string
+				a, b, c []float32
+				msgPart string
+			}{
+				{"shortA", good(m*k - 1), good(k * n), good(m * n), "A operand too short"},
+				{"shortB", good(m * k), good(k*n - 1), good(m * n), "B operand too short"},
+				{"shortC", good(m * k), good(k * n), good(m*n - 1), "C operand too short"},
+			}
+			for _, tc := range cases {
+				name := fmt.Sprintf("%s/transA=%v/transB=%v", tc.name, ta, tb)
+				func() {
+					defer func() {
+						r := recover()
+						if r == nil {
+							t.Errorf("%s: no panic", name)
+							return
+						}
+						msg, ok := r.(string)
+						if !ok || !strings.Contains(msg, tc.msgPart) {
+							t.Errorf("%s: panic %v does not mention %q", name, r, tc.msgPart)
+						}
+						// The message must carry the shape, not just "too small".
+						if !strings.Contains(msg, "=") {
+							t.Errorf("%s: panic %q carries no shape info", name, msg)
+						}
+					}()
+					Gemm(ta, tb, m, n, k, 1, tc.a, tc.b, 0, tc.c)
+				}()
+			}
+		}
+	}
+}
+
+// TestKernel6x8AsmMatchesGo pins the architecture kernel against the
+// portable reference, bitwise, across all three modes and several k values
+// and ldc layouts. On non-amd64 builds the two are the same function and
+// the test degenerates to a smoke test.
+func TestKernel6x8AsmMatchesGo(t *testing.T) {
+	if !haveAsmKernel {
+		t.Log("no assembly kernel on this architecture; smoke-testing the portable kernel against itself")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 7, 16, 64, 129} {
+		for _, ldc := range []int{nr, nr + 3, 40} {
+			for mode := 0; mode <= 2; mode++ {
+				a := make([]float32, mr*k)
+				b := make([]float32, nr*k)
+				cAsm := make([]float32, (mr-1)*ldc+nr)
+				fillRand(rng, a)
+				fillRand(rng, b)
+				fillRand(rng, cAsm)
+				cGo := append([]float32(nil), cAsm...)
+				kernel6x8(a, b, cAsm, k, ldc, mode)
+				goGemmKernel6x8(a, b, cGo, k, ldc, mode)
+				for i := range cGo {
+					if cAsm[i] != cGo[i] {
+						t.Fatalf("k=%d ldc=%d mode=%d: c[%d] asm=%v go=%v", k, ldc, mode, i, cAsm[i], cGo[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmPackedParallelMatchesSerial verifies the 2-D grid partitioning is
+// invisible in the bits: every C element's summation chain lives entirely
+// inside one tile, so any worker count produces identical output.
+func TestGemmPackedParallelMatchesSerial(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	rng := rand.New(rand.NewSource(99))
+	for _, sz := range [][3]int{{96, 96, 64}, {61, 83, 37}, {128, 24, 48}} {
+		m, n, k := sz[0], sz[1], sz[2]
+		a := make([]float32, m*k)
+		b := make([]float32, k*n)
+		fillRand(rng, a)
+		fillRand(rng, b)
+		Parallelism = 1
+		serial := make([]float32, m*n)
+		gemmPacked(false, false, m, n, k, a, b, 0, serial)
+		for _, workers := range []int{2, 3, 8} {
+			Parallelism = workers
+			par := make([]float32, m*n)
+			gemmPacked(false, false, m, n, k, a, b, 0, par)
+			for i := range serial {
+				if serial[i] != par[i] {
+					t.Fatalf("m=%d n=%d k=%d workers=%d: c[%d] differs", m, n, k, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchArena covers the size-class mechanics of the scratch arena.
+func TestScratchArena(t *testing.T) {
+	s := GetScratch(100)
+	if len(s.Data) != 100 {
+		t.Fatalf("GetScratch(100): len=%d", len(s.Data))
+	}
+	if cap(s.Data) < 256 {
+		t.Fatalf("GetScratch(100): cap=%d, want at least the smallest class (256)", cap(s.Data))
+	}
+	PutScratch(s)
+	s2 := GetScratch(200)
+	if len(s2.Data) != 200 {
+		t.Fatalf("GetScratch(200) after Put: len=%d", len(s2.Data))
+	}
+	PutScratch(s2)
+
+	big := GetScratch(1 << 25) // above the top class: one-shot allocation
+	if len(big.Data) != 1<<25 {
+		t.Fatalf("oversized GetScratch: len=%d", len(big.Data))
+	}
+	PutScratch(big) // must be a no-op, not a pool poisoning
+	PutScratch(nil) // nil Put is allowed
+
+	z := GetScratch(64)
+	for i := range z.Data {
+		z.Data[i] = 3
+	}
+	z.Zero()
+	for i, v := range z.Data {
+		if v != 0 {
+			t.Fatalf("Zero left z.Data[%d]=%v", i, v)
+		}
+	}
+	PutScratch(z)
+}
+
+// TestArenaConcurrentStress exercises concurrent Get/Put plus concurrent
+// packed GEMMs under -race: distinct goroutines must never observe each
+// other's scratch. Each worker writes its own tag across its buffer, yields
+// to the scheduler via real GEMM work, then verifies the tag.
+func TestArenaConcurrentStress(t *testing.T) {
+	const workers = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tag float32) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tag)))
+			const m, n, k = 24, 32, 16
+			a := make([]float32, m*k)
+			b := make([]float32, k*n)
+			c := make([]float32, m*n)
+			want := make([]float32, m*n)
+			fillRand(rng, a)
+			fillRand(rng, b)
+			GemmNaive(false, false, m, n, k, 1, a, b, 0, want)
+			for it := 0; it < iters; it++ {
+				s := GetScratch(300 + int(tag))
+				for i := range s.Data {
+					s.Data[i] = tag
+				}
+				gemmPacked(false, false, m, n, k, a, b, 0, c)
+				for i := range c {
+					if c[i] != want[i] {
+						t.Errorf("worker %v: concurrent gemm corrupted at %d", tag, i)
+						return
+					}
+				}
+				for i, v := range s.Data {
+					if v != tag {
+						t.Errorf("worker %v: scratch corrupted at %d: %v", tag, i, v)
+						return
+					}
+				}
+				PutScratch(s)
+			}
+		}(float32(w + 1))
+	}
+	wg.Wait()
+}

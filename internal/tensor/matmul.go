@@ -3,7 +3,7 @@ package tensor
 import "fmt"
 
 // MatMul computes C = A·B for rank-2 tensors A [m,k] and B [k,n], returning a
-// new [m,n] tensor. Rows of C are computed in parallel.
+// new [m,n] tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k := a.Dim(0), a.Dim(1)
 	if b.Dim(0) != k {
@@ -25,15 +25,60 @@ func MatMulInto(c, a, b *Tensor) {
 	Gemm(false, false, m, n, k, 1, a.Data, b.Data, 0, c.Data)
 }
 
+// checkGemmOperands validates all three operand lengths up front with
+// shape-carrying messages; without this an undersized A or B dies mid-kernel
+// with a bare index-out-of-range. Both storage orders of A need m·k elements
+// (and B k·n), so the check is transposition-independent but the message
+// still reports the flags for debugging.
+func checkGemmOperands(transA, transB bool, m, n, k int, a, b, c []float32) {
+	if len(a) < m*k {
+		panic(fmt.Sprintf("tensor: Gemm A operand too short: len(a)=%d, need m*k=%d*%d=%d (transA=%v)",
+			len(a), m, k, m*k, transA))
+	}
+	if len(b) < k*n {
+		panic(fmt.Sprintf("tensor: Gemm B operand too short: len(b)=%d, need k*n=%d*%d=%d (transB=%v)",
+			len(b), k, n, k*n, transB))
+	}
+	if len(c) < m*n {
+		panic(fmt.Sprintf("tensor: Gemm C operand too short: len(c)=%d, need m*n=%d*%d=%d",
+			len(c), m, n, m*n))
+	}
+}
+
+// packedMinWork gates the packed path: below this m·n·k the packing traffic
+// rivals the compute it saves and the naive kernel is already in-cache.
+const packedMinWork = 1 << 11
+
 // Gemm computes C = alpha·op(A)·op(B) + beta·C where op is optional
 // transposition, with A [m,k] (or [k,m] if transA), B [k,n] (or [n,k] if
-// transB) and C [m,n], all row-major flat slices. The m dimension is
-// parallelized. This is the single hot kernel under every Dense and Conv
-// layer.
+// transB) and C [m,n], all row-major flat slices. This is the single hot
+// kernel under every Dense and Conv layer.
+//
+// Large calls with alpha=1 and beta ∈ {0,1} — every call the layers make —
+// run through the cache-blocked, panel-packed kernel (pack.go); everything
+// else falls back to GemmNaive. Both paths produce bitwise-identical results
+// for any Parallelism setting, including when invoked from inside another
+// parallel kernel.
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
-	if len(c) < m*n {
-		panic("tensor: Gemm output too small")
+	checkGemmOperands(transA, transB, m, n, k, a, b, c)
+	if alpha == 1 && (beta == 0 || beta == 1) && k > 0 && n >= nr && m*n*k >= packedMinWork {
+		gemmPacked(transA, transB, m, n, k, a, b, beta, c)
+		return
 	}
+	gemmNaive(transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+// GemmNaive is the pre-blocking reference kernel: a row-parallel triple loop
+// with no packing and no tiling. It is retained verbatim as (a) the fallback
+// for general alpha/beta, (b) the differential-test oracle the packed kernel
+// is pinned against, and (c) the baseline nebula-bench reports speedups
+// relative to.
+func GemmNaive(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	checkGemmOperands(transA, transB, m, n, k, a, b, c)
+	gemmNaive(transA, transB, m, n, k, alpha, a, b, beta, c)
+}
+
+func gemmNaive(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	work := m * n * k
 	body := func(i0, i1 int) {
 		for i := i0; i < i1; i++ {

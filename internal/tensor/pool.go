@@ -15,9 +15,95 @@ var Parallelism = runtime.GOMAXPROCS(0)
 // goroutines pays off; below it kernels run serially.
 const minParallelWork = 1 << 12
 
+// The parallel kernels dispatch onto a persistent pool of worker goroutines
+// instead of spawning per call: a `go func` per chunk costs a closure, a
+// goroutine stack, and a WaitGroup allocation on every kernel invocation,
+// which is exactly the steady-state garbage the arena exists to eliminate.
+// Workers live for the process and drain taskCh; tasks carry either a caller
+// closure or a pooled descriptor (GEMM bands, work-stealing loops) so the
+// hot paths stay allocation-free.
+//
+// parallelDepth counts active parallel regions. A kernel invoked from inside
+// a worker (e.g. a per-sample GEMM under Conv2D's batch fan-out) sees
+// depth > 0 and runs serially instead of fanning out again, which would
+// oversubscribe GOMAXPROCS. Results never depend on this: every kernel's
+// floating-point evaluation order is fixed per element regardless of how the
+// work is scheduled, and ParallelForChunks keeps its chunk boundaries a pure
+// function of (n, Parallelism) even when it executes serially.
+var (
+	workerOnce    sync.Once
+	taskCh        chan parTask
+	parallelDepth atomic.Int32
+)
+
+// parTask is one unit of work for the persistent workers. Exactly one of
+// fn/chunkFn/steal/gemm is set.
+type parTask struct {
+	fn         func(start, end int)
+	chunkFn    func(chunk, start, end int)
+	steal      *stealDesc
+	gemm       *gemmDesc
+	chunk      int
+	start, end int
+	wg         *sync.WaitGroup
+}
+
+func (t parTask) run() {
+	switch {
+	case t.fn != nil:
+		t.fn(t.start, t.end)
+	case t.chunkFn != nil:
+		t.chunkFn(t.chunk, t.start, t.end)
+	case t.steal != nil:
+		t.steal.drain()
+	case t.gemm != nil:
+		t.gemm.runBand(t.chunk)
+	}
+}
+
+func startWorkers() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	taskCh = make(chan parTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			// Process-lifetime worker: drains the task channel forever.
+			for t := range taskCh {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// submit hands one task to the pool, starting the workers on first use.
+func submit(t parTask) {
+	workerOnce.Do(startWorkers)
+	t.wg.Add(1)
+	taskCh <- t
+}
+
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// enterParallel marks a parallel region active and returns a pooled
+// WaitGroup for it; exitParallel releases both.
+func enterParallel() *sync.WaitGroup {
+	parallelDepth.Add(1)
+	return wgPool.Get().(*sync.WaitGroup)
+}
+
+func exitParallel(wg *sync.WaitGroup) {
+	wgPool.Put(wg)
+	parallelDepth.Add(-1)
+}
+
 // ParallelFor splits [0, n) into contiguous chunks and runs fn(start, end) on
 // each chunk concurrently. fn must be safe to call from multiple goroutines on
-// disjoint ranges. It runs serially when n is small or Parallelism is 1.
+// disjoint ranges and must not synchronize between chunks. It runs serially
+// when n is small, Parallelism is 1, or the caller is already inside a
+// parallel kernel.
 func ParallelFor(n int, fn func(start, end int)) {
 	workers := Parallelism
 	if workers < 1 {
@@ -26,7 +112,7 @@ func ParallelFor(n int, fn func(start, end int)) {
 	if n <= 0 {
 		return
 	}
-	if workers == 1 || n < workers*2 {
+	if workers == 1 || n < workers*2 || parallelDepth.Load() > 0 {
 		fn(0, n)
 		return
 	}
@@ -34,26 +120,26 @@ func ParallelFor(n int, fn func(start, end int)) {
 		workers = n
 	}
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
+	wg := enterParallel()
+	for start := chunk; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+		submit(parTask{fn: fn, start: start, end: end, wg: wg})
 	}
+	fn(0, chunk) // the caller is the first worker
 	wg.Wait()
+	exitParallel(wg)
 }
 
 // ParallelForChunks is ParallelFor with a stable chunk index passed to fn:
 // chunks are contiguous, ordered, and their count/boundaries depend only on
 // (n, Parallelism). Callers that reduce per-chunk partial results in chunk
 // order get deterministic floating-point sums for a fixed Parallelism.
-// Returns the number of chunks used.
+// Returns the number of chunks used. When invoked from inside another
+// parallel kernel the same chunks execute serially, so the reduction
+// structure (and therefore the numerics) is unchanged.
 func ParallelForChunks(n int, fn func(chunk, start, end int)) int {
 	workers := Parallelism
 	if workers < 1 {
@@ -71,26 +157,56 @@ func ParallelForChunks(n int, fn func(chunk, start, end int)) int {
 	}
 	chunk := (n + workers - 1) / workers
 	numChunks := (n + chunk - 1) / chunk
-	var wg sync.WaitGroup
-	for c := 0; c < numChunks; c++ {
-		start := c * chunk
+	if parallelDepth.Load() > 0 {
+		for ci := 0; ci < numChunks; ci++ {
+			start := ci * chunk
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			fn(ci, start, end)
+		}
+		return numChunks
+	}
+	wg := enterParallel()
+	for ci := 1; ci < numChunks; ci++ {
+		start := ci * chunk
 		end := start + chunk
 		if end > n {
 			end = n
 		}
-		wg.Add(1)
-		go func(ci, s, e int) {
-			defer wg.Done()
-			fn(ci, s, e)
-		}(c, start, end)
+		submit(parTask{chunkFn: fn, chunk: ci, start: start, end: end, wg: wg})
 	}
+	fn(0, 0, chunk)
 	wg.Wait()
+	exitParallel(wg)
 	return numChunks
 }
 
+// stealDesc is the pooled descriptor behind ParallelForAtomic.
+type stealDesc struct {
+	fn   func(i int)
+	n    int
+	next atomic.Int64
+}
+
+func (d *stealDesc) drain() {
+	for {
+		i := int(d.next.Add(1)) - 1
+		if i >= d.n {
+			return
+		}
+		d.fn(i)
+	}
+}
+
+var stealPool = sync.Pool{New: func() any { return new(stealDesc) }}
+
 // ParallelForAtomic runs fn(i) for each i in [0, n) with dynamic
 // work-stealing via an atomic counter. Use when per-item cost is highly
-// non-uniform; for uniform work ParallelFor has less overhead.
+// non-uniform; for uniform work ParallelFor has less overhead. Like the
+// other kernels it degrades to a serial loop when nested inside an active
+// parallel region.
 func ParallelForAtomic(n int, fn func(i int)) {
 	workers := Parallelism
 	if workers < 1 {
@@ -99,7 +215,7 @@ func ParallelForAtomic(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers == 1 || n == 1 {
+	if workers == 1 || n == 1 || parallelDepth.Load() > 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -108,20 +224,16 @@ func ParallelForAtomic(n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+	d := stealPool.Get().(*stealDesc)
+	d.fn, d.n = fn, n
+	d.next.Store(0)
+	wg := enterParallel()
+	for w := 1; w < workers; w++ {
+		submit(parTask{steal: d, wg: wg})
 	}
+	d.drain()
 	wg.Wait()
+	exitParallel(wg)
+	d.fn = nil
+	stealPool.Put(d)
 }
