@@ -27,9 +27,11 @@ test:
 	$(GO) test ./...
 
 # Kernel benchmarks → BENCH_kernels.json (ns/op, allocs/op, speedup vs the
-# naive reference; see docs/PERF.md), then the per-figure benches.
+# naive reference; see docs/PERF.md), the parallel-round benchmark →
+# BENCH_parallel.json (docs/PARALLEL.md), then the per-figure benches.
 bench:
 	$(GO) run ./cmd/nebula-bench
+	$(GO) run ./cmd/nebula-parbench
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate every table and figure (quick profile).

@@ -23,8 +23,29 @@ if go run ./cmd/nebula-lint -unscoped internal/lint/testdata >/dev/null 2>&1; th
     exit 1
 fi
 
+echo "== go test -race (fed parallel determinism tests)"
+go test -race -run 'WorkersDifferential|ParticipantSets|ForEachDevice' ./internal/fed/
+
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== workers differential gate (artifacts identical for -workers 1 vs 4)"
+difftmp=$(mktemp -d)
+for w in 1 4; do
+    go run ./cmd/nebula-sim -exp faults -devices 6 -proxy 8 -steps 2 \
+        -pretrain-epochs 1 -finetune-epochs 1 -local-epochs 1 -seed 5 \
+        -workers "$w" -trace "$difftmp/w$w.jsonl" >"$difftmp/w$w.out"
+done
+cmp "$difftmp/w1.out" "$difftmp/w4.out" || {
+    echo "ci: experiment output differs between -workers 1 and -workers 4" >&2
+    exit 1
+}
+cmp "$difftmp/w1.jsonl" "$difftmp/w4.jsonl" || {
+    echo "ci: trace JSONL differs between -workers 1 and -workers 4" >&2
+    exit 1
+}
+go run ./cmd/nebula-trace "$difftmp/w1.jsonl" >/dev/null
+rm -rf "$difftmp"
 
 echo "== bench smoke (kernel benches compile and run once)"
 go test -run '^$' -bench 'BenchmarkGemm|BenchmarkDenseStep|BenchmarkConvStep' -benchtime 1x . >/dev/null

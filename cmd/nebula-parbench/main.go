@@ -1,0 +1,127 @@
+// Command nebula-parbench measures the wall-clock effect of the parallel
+// round executor (docs/PARALLEL.md): one Nebula adaptation round at 25
+// devices per round, once with -workers 1 (the old serial loop) and once
+// with every available CPU. It writes BENCH_parallel.json, the
+// machine-readable record of the round-level speedup on this machine.
+//
+// The two configurations produce bitwise-identical models, costs, and
+// traces (the differential gate in internal/fed/parallel_test.go holds the
+// repo to that); only wall-clock time may differ. The speedup is bounded by
+// the core count: on a 1-CPU machine it is ~1.0 by construction, on ≥4
+// cores the round is expected to run ≥2× faster.
+//
+// Usage:
+//
+//	go run ./cmd/nebula-parbench            # writes BENCH_parallel.json
+//	go run ./cmd/nebula-parbench -out path  # writes elsewhere
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/fed"
+	"repro/internal/tensor"
+)
+
+// devicesPerRound matches the paper's online stage (~20-25 concurrent
+// devices per round) and the ISSUE's benchmark point.
+const devicesPerRound = 25
+
+// Result is one benchmark row of BENCH_parallel.json.
+type Result struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// SpeedupVsSerial is serial round time ÷ this row's round time measured
+	// in the same run, on the same machine; 0 for the serial row itself.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// Report is the BENCH_parallel.json document.
+type Report struct {
+	GoVersion       string   `json:"go_version"`
+	GOARCH          string   `json:"goarch"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
+	NumCPU          int      `json:"num_cpu"`
+	DevicesPerRound int      `json:"devices_per_round"`
+	Note            string   `json:"note"`
+	Results         []Result `json:"results"`
+}
+
+// roundBench returns a benchmark closure running one full Nebula round
+// (sample, derive, train, aggregate) over a 25-device fleet with the given
+// worker count. Setup (pretrain, fleet build) happens outside the timer.
+func roundBench(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := tensor.NewRNG(7)
+		task := fed.HARTask(8, fed.ScaleQuick)
+		cfg := fed.DefaultConfig()
+		cfg.Rounds = 1
+		cfg.DevicesPerRound = devicesPerRound
+		cfg.LocalEpochs = 1
+		cfg.Workers = workers
+		nb := fed.NewNebula(task, cfg)
+		nb.TrainCfg.Epochs = 1
+		proxy := data.MakeBalancedDataset(rng, task.Gen, data.DefaultEnv(), 20)
+		nb.Pretrain(rng, proxy)
+		fleet := data.NewFleet(rng, task.Gen, data.PartitionConfig{
+			NumDevices: devicesPerRound, ClassesPerDevice: 2,
+			MinVolume: 40, MaxVolume: 80,
+		})
+		clients := fed.NewClients(rng, fleet)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nb.Adapt(tensor.NewRNG(int64(i+1)), clients)
+		}
+	}
+}
+
+func run(name string, workers int) Result {
+	r := testing.Benchmark(roundBench(workers))
+	res := Result{
+		Name:    name,
+		Workers: workers,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+	}
+	fmt.Fprintf(os.Stderr, "%-32s %14.0f ns/op\n", name, res.NsPerOp)
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output path for the parallel-round benchmark report")
+	flag.Parse()
+
+	serial := run("nebula_round_25dev_serial", 1)
+	ncpu := runtime.NumCPU()
+	par := run(fmt.Sprintf("nebula_round_25dev_workers_%d", ncpu), ncpu)
+	if par.NsPerOp > 0 {
+		par.SpeedupVsSerial = serial.NsPerOp / par.NsPerOp
+	}
+
+	rep := Report{
+		GoVersion:       runtime.Version(),
+		GOARCH:          runtime.GOARCH,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          ncpu,
+		DevicesPerRound: devicesPerRound,
+		Note:            "both rows produce bitwise-identical artifacts; speedup is bounded by the core count (~1.0 on 1 CPU, >=2x expected on >=4 cores)",
+		Results:         []Result{serial, par},
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-parbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-parbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "nebula-parbench: wrote %s\n", *out)
+}

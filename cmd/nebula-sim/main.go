@@ -8,11 +8,22 @@
 //	nebula-sim -exp all -devices 60 -rounds 10 -scale paper -v
 //	nebula-sim -exp table1 -seed 7 -seed-audit
 //	nebula-sim -exp faults -faults drop=0.25,delay=20ms,reset=0.05 -seed 7 -seed-audit
+//	nebula-sim -exp fig10 -workers 1 -trace run.jsonl
 //
 // -seed-audit runs the experiment twice with the same -seed and fails (exit
 // 1) unless both passes produce byte-identical output — the dynamic
 // counterpart of nebula-lint's seedrand check: every source of randomness in
 // internal/experiments must thread from the single config seed.
+//
+// -workers bounds per-round device parallelism (default: all CPUs).
+// Artifacts — tables, figures, and the -trace log — are bitwise identical
+// for every worker count, including 1 (docs/PARALLEL.md); the differential
+// gate in ci.sh holds the repo to that.
+//
+// -trace writes the structured JSONL adaptation log of the online-stage
+// Nebula runs. The log carries no wall-clock timestamps, so two runs with
+// the same seed (at any -workers values) byte-compare equal. A trace write
+// failure is a hard error (exit 1), never a silent truncation.
 package main
 
 import (
@@ -20,11 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/edgenet"
 	"repro/internal/experiments"
 	"repro/internal/fed"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -35,7 +48,9 @@ func main() {
 		scale     = flag.String("scale", "quick", "experiment scale: quick | paper")
 		seedAudit = flag.Bool("seed-audit", false, "run the experiment twice with the same seed and verify byte-identical output")
 		faults    = flag.String("faults", "", "inject a seeded lossy link into online-stage experiments, e.g. 'drop=0.25,delay=20ms,reset=0.05' (seed=N to replay a specific fault stream; defaults to -seed)")
+		tracePath = flag.String("trace", "", "write the online-stage adaptation log (JSON lines) to this file")
 	)
+	flag.IntVar(&opt.Workers, "workers", runtime.NumCPU(), "per-round device parallelism; artifacts are bitwise identical for every value, including 1")
 	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "random seed")
 	flag.IntVar(&opt.Devices, "devices", opt.Devices, "fleet size")
 	flag.IntVar(&opt.ProxyPerClass, "proxy", opt.ProxyPerClass, "proxy samples per class for cloud pre-training")
@@ -77,6 +92,17 @@ func main() {
 		opt.Faults = cfg
 	}
 	opt.Out = os.Stdout
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-sim:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		// nil clock: no wall timestamps, so equal-seed runs byte-compare.
+		opt.Trace = trace.NewWithClock(f, nil)
+	}
 
 	start := time.Now()
 	if *seedAudit {
@@ -87,6 +113,18 @@ func main() {
 	} else if err := experiments.Run(*exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "nebula-sim:", err)
 		os.Exit(1)
+	}
+	if traceFile != nil {
+		// A dropped trace event is silent data corruption downstream
+		// (nebula-trace would understate the run); fail loudly instead.
+		if err := opt.Trace.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-sim: trace log:", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-sim: trace log:", err)
+			os.Exit(1)
+		}
 	}
 	if opt.Verbose {
 		fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))

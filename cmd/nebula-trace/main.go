@@ -37,6 +37,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nebula-trace:", err)
 		os.Exit(1)
 	}
+	// A gap in the sequence numbers means the producer dropped events (e.g.
+	// a failed write): the summary below would silently understate the run,
+	// so refuse to summarize a torn log.
+	if err := trace.CheckSeq(events); err != nil {
+		fmt.Fprintln(os.Stderr, "nebula-trace:", err)
+		os.Exit(1)
+	}
 	s := trace.Summarize(events)
 	fmt.Printf("events:       %d\n", len(events))
 	fmt.Printf("rounds:       %d\n", s.Rounds)

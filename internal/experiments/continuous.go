@@ -70,6 +70,8 @@ func runContinuousTask(opt Options, task *fed.Task, salt int64) *ContinuousResul
 	laCfg := cfg
 	laCfg.FinetuneEpochs = opt.FinetuneEpochs
 	fullNebula := mkNebula(true, true)
+	// Only the full system logs, so one -trace file holds one coherent run.
+	fullNebula.Trace = opt.Trace
 	systems := []sys{
 		{"no-adapt", na, newFleetClients(opt.Seed + 50 + salt)},
 		{"local-adapt", la, newFleetClients(opt.Seed + 50 + salt)},

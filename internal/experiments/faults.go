@@ -54,6 +54,7 @@ func RunFaults(opt Options) *FaultsResult {
 		proxy := data.MakeBalancedDataset(rng, task.Gen, data.DefaultEnv(), opt.ProxyPerClass)
 		nb := fed.NewNebula(task, fcfg)
 		nb.TrainCfg.Epochs = opt.PretrainEpochs
+		nb.Trace = opt.Trace
 		nb.Faults = fm
 		nb.Pretrain(tensor.NewRNG(opt.Seed+60), proxy)
 		fleetRNG := tensor.NewRNG(opt.Seed + 50)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/edgenet"
 	"repro/internal/fed"
+	"repro/internal/trace"
 )
 
 // Options scales an experiment run. The defaults keep a full sweep tractable
@@ -41,6 +42,15 @@ type Options struct {
 	// Faults replays a seeded lossy edge-cloud link in the online-stage
 	// experiments (nebula-sim -faults). Zero value = clean network.
 	Faults edgenet.FaultConfig
+
+	// Workers bounds per-round device parallelism inside every strategy
+	// (nebula-sim -workers). 0 means runtime.NumCPU; every value, including
+	// 1, produces bitwise-identical artifacts — see docs/PARALLEL.md.
+	Workers int
+
+	// Trace optionally receives the structured JSONL adaptation log of the
+	// online-stage Nebula runs (nebula-sim -trace). Nil disables tracing.
+	Trace *trace.Logger
 
 	// Verbose prints progress lines during long runs.
 	Verbose bool
@@ -77,6 +87,7 @@ func (o Options) fedConfig() fed.Config {
 	cfg.DevicesPerRound = o.DevicesPerRound
 	cfg.LocalEpochs = o.LocalEpochs
 	cfg.FinetuneEpochs = o.FinetuneEpochs
+	cfg.Workers = o.Workers
 	return cfg
 }
 

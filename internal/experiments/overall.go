@@ -69,6 +69,9 @@ func runRow(opt Options, row Row) (accs map[string]float64, costs map[string]fed
 		FeatureSkew: row.FeatureSkew,
 	})
 	for _, sys := range systemsFor(row.Task, cfg) {
+		if nb, ok := sys.(*fed.Nebula); ok {
+			nb.Trace = opt.Trace
+		}
 		srng := tensor.NewRNG(opt.Seed + 77) // same stream for fairness
 		sys.Pretrain(srng, proxy)
 		clients := fed.NewClients(tensor.NewRNG(opt.Seed+88), fleet)

@@ -40,7 +40,7 @@ func (s *NoAdapt) Adapt(rng *tensor.RNG, clients []*Client) {}
 
 // LocalAccuracy evaluates the static model on every client's local task.
 func (s *NoAdapt) LocalAccuracy(clients []*Client) float64 {
-	return meanLocalAccuracyLayer(s.model, clients, s.cfg.TestPerDevice)
+	return meanLocalAccuracyLayer(s.model, clients, s.cfg.TestPerDevice, s.cfg.Workers)
 }
 
 // Costs returns zero: nothing is communicated after deployment.
@@ -76,21 +76,43 @@ func (s *LocalAdapt) Pretrain(rng *tensor.RNG, proxy *data.Dataset) {
 }
 
 // Adapt fine-tunes every client's private copy on its current local data.
+// Devices run concurrently on derived streams; map writes and cost charges
+// commit in canonical device order.
 func (s *LocalAdapt) Adapt(rng *tensor.RNG, clients []*Client) {
-	var slot float64
-	for _, c := range clients {
-		m, ok := s.local[c.Dev.ID]
-		if !ok {
+	n := len(clients)
+	held := make([]nn.Layer, n)
+	for i, c := range clients {
+		held[i] = s.local[c.Dev.ID]
+	}
+	streams := splitStreams(rng, n)
+	type result struct {
+		m    nn.Layer
+		down int64
+		t    float64
+	}
+	res := make([]result, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		c := clients[i]
+		m := held[i]
+		if m == nil {
 			m = nn.CloneLayer(s.cloud)
-			s.local[c.Dev.ID] = m
-			s.costs.BytesDown += modelBytes(m) // one-time model download
+			res[i].down = modelBytes(m) // one-time model download
 		}
-		TrainLayer(rng, m, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
+		TrainLayer(streams[i], m, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
 		p := c.Mon.Profile()
 		fwd, _ := nn.ForwardCost(m, s.Task.InElems())
-		t := trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
-		if t > slot {
-			slot = t
+		res[i].m = m
+		res[i].t = trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
+	})
+	var slot float64
+	for i, c := range clients {
+		r := &res[i]
+		if held[i] == nil {
+			s.local[c.Dev.ID] = r.m
+			s.costs.BytesDown += r.down
+		}
+		if r.t > slot {
+			slot = r.t
 		}
 	}
 	s.costs.SimTime += slot // devices adapt in parallel
@@ -98,17 +120,28 @@ func (s *LocalAdapt) Adapt(rng *tensor.RNG, clients []*Client) {
 }
 
 // LocalAccuracy evaluates each device's private model on its local task.
+// Devices without a private copy evaluate a clone of the shared cloud model
+// (Forward mutates activation caches, so workers must not share it).
 func (s *LocalAdapt) LocalAccuracy(clients []*Client) float64 {
 	if len(clients) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, c := range clients {
-		m := s.local[c.Dev.ID]
+	n := len(clients)
+	models := make([]nn.Layer, n)
+	for i, c := range clients {
+		models[i] = s.local[c.Dev.ID]
+	}
+	accs := make([]float64, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		m := models[i]
 		if m == nil {
-			m = s.cloud
+			m = nn.CloneLayer(s.cloud)
 		}
-		sum += EvalLayer(m, c.Dev.TestSet(s.cfg.TestPerDevice))
+		accs[i] = EvalLayer(m, clients[i].Dev.TestSet(s.cfg.TestPerDevice))
+	})
+	var sum float64
+	for _, a := range accs {
+		sum += a
 	}
 	return sum / float64(len(clients))
 }
@@ -151,23 +184,45 @@ func (s *AdaptiveNet) Pretrain(rng *tensor.RNG, proxy *data.Dataset) {
 }
 
 // Adapt (re-)selects each client's branch under its current resources and
-// fine-tunes it locally.
+// fine-tunes it locally. Devices run concurrently on derived streams; map
+// writes and cost charges commit in canonical device order.
 func (s *AdaptiveNet) Adapt(rng *tensor.RNG, clients []*Client) {
-	var slot float64
-	for _, c := range clients {
+	n := len(clients)
+	held := make([]*MultiBranch, n)
+	for i, c := range clients {
+		held[i] = s.local[c.Dev.ID]
+	}
+	streams := splitStreams(rng, n)
+	type result struct {
+		m    *MultiBranch
+		b    int
+		down int64
+		t    float64
+	}
+	res := make([]result, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		c := clients[i]
 		p := c.Mon.Profile()
 		b := s.cloud.PickBranch(p, s.Task.InElems(), s.latencyBudget)
-		m, ok := s.local[c.Dev.ID]
-		if !ok {
+		m := held[i]
+		if m == nil {
 			m = s.cloud.Clone()
-			s.local[c.Dev.ID] = m
-			s.costs.BytesDown += s.cloud.BranchBytes(s.cloud.NumBranches() - 1)
+			res[i].down = s.cloud.BranchBytes(s.cloud.NumBranches() - 1)
 		}
-		s.branch[c.Dev.ID] = b
-		TrainLayer(rng, branchModel{m, b}, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
-		t := trainTime(p, m.BranchCost(s.Task.InElems(), b), c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
-		if t > slot {
-			slot = t
+		TrainLayer(streams[i], branchModel{m, b}, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
+		res[i].m, res[i].b = m, b
+		res[i].t = trainTime(p, m.BranchCost(s.Task.InElems(), b), c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
+	})
+	var slot float64
+	for i, c := range clients {
+		r := &res[i]
+		if held[i] == nil {
+			s.local[c.Dev.ID] = r.m
+			s.costs.BytesDown += r.down
+		}
+		s.branch[c.Dev.ID] = r.b
+		if r.t > slot {
+			slot = r.t
 		}
 	}
 	s.costs.SimTime += slot
@@ -175,19 +230,38 @@ func (s *AdaptiveNet) Adapt(rng *tensor.RNG, clients []*Client) {
 }
 
 // LocalAccuracy evaluates each device's chosen branch on its local task.
+// Devices without a private copy evaluate a clone of the shared cloud model
+// (Forward mutates activation caches, so workers must not share it).
 func (s *AdaptiveNet) LocalAccuracy(clients []*Client) float64 {
 	if len(clients) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, c := range clients {
+	n := len(clients)
+	accs := make([]float64, n)
+	type pick struct {
+		m *MultiBranch
+		b int
+	}
+	picks := make([]pick, n)
+	for i, c := range clients {
 		m := s.local[c.Dev.ID]
 		b, ok := s.branch[c.Dev.ID]
 		if m == nil || !ok {
-			m = s.cloud
 			b = s.cloud.NumBranches() - 1
+			m = nil // worker clones the shared cloud model
 		}
-		sum += EvalLayer(branchModel{m, b}, c.Dev.TestSet(s.cfg.TestPerDevice))
+		picks[i] = pick{m, b}
+	}
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		m := picks[i].m
+		if m == nil {
+			m = s.cloud.Clone()
+		}
+		accs[i] = EvalLayer(branchModel{m, picks[i].b}, clients[i].Dev.TestSet(s.cfg.TestPerDevice))
+	})
+	var sum float64
+	for _, a := range accs {
+		sum += a
 	}
 	return sum / float64(len(clients))
 }

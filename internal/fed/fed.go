@@ -47,6 +47,10 @@ type Config struct {
 	// unreachable during a round (straggler/failure injection); the round
 	// proceeds with the survivors.
 	DropoutProb float64
+	// Workers bounds how many devices run concurrently inside a round
+	// (training and evaluation fan-out). 0 means runtime.NumCPU. Results are
+	// bitwise identical for every value, including 1 — see docs/PARALLEL.md.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's parameter settings.
@@ -194,14 +198,23 @@ func trainTime(p device.Profile, fwdFlopsPerSample int, samples, epochs, batch i
 }
 
 // meanLocalAccuracyLayer evaluates one shared model on every client's local
-// test distribution.
-func meanLocalAccuracyLayer(m nn.Layer, clients []*Client, testN int) float64 {
+// test distribution. Devices evaluate concurrently; each worker gets its own
+// clone of the model (Forward mutates activation caches), and the accuracy
+// sum is reduced in canonical device order so the float64 result is
+// identical for any worker count.
+func meanLocalAccuracyLayer(m nn.Layer, clients []*Client, testN, workers int) float64 {
 	if len(clients) == 0 {
 		return 0
 	}
+	accs := make([]float64, len(clients))
+	forEachDeviceState(workers, len(clients),
+		func() any { return nn.CloneLayer(m) },
+		func(state any, i int) {
+			accs[i] = EvalLayer(state.(nn.Layer), clients[i].Dev.TestSet(testN))
+		})
 	var sum float64
-	for _, c := range clients {
-		sum += EvalLayer(m, c.Dev.TestSet(testN))
+	for _, a := range accs {
+		sum += a
 	}
 	return sum / float64(len(clients))
 }

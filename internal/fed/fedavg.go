@@ -50,29 +50,58 @@ func (s *FedAvg) round(rng *tensor.RNG, clients []*Client) {
 	gp := s.global.Params()
 	gs := nn.LayerStates(s.global)
 	sumVec := make([]float32, nn.VectorLen(gp, gs))
-	var totalW float64
 	bytes := modelBytes(s.global)
 	fwd, _ := nn.ForwardCost(s.global, s.Task.InElems())
-	var slot float64
 	anchor := nn.FlattenVector(gp, nil)
-	for _, c := range part {
-		if s.cfg.DropoutProb > 0 && rng.Float64() < s.cfg.DropoutProb {
-			continue // device dropped out of this round
+
+	// Coordinator prep: dropout rolls and per-device streams off the master
+	// stream in canonical order.
+	n := len(part)
+	drop := make([]bool, n)
+	for i := range part {
+		if s.cfg.DropoutProb > 0 {
+			drop[i] = rng.Float64() < s.cfg.DropoutProb
 		}
+	}
+	streams := splitStreams(rng, n)
+
+	// Parallel phase: each device trains a private clone of the global model
+	// (read-only during the round) against its own stream.
+	type result struct {
+		vec []float32
+		w   float64
+		t   float64
+	}
+	res := make([]result, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		if drop[i] {
+			return
+		}
+		c := part[i]
 		local := nn.CloneLayer(s.global)
-		s.costs.BytesDown += bytes
-		s.withProx(rng, local, anchor, c.Dev.Train)
-		s.costs.BytesUp += bytes
-		w := float64(c.Dev.Train.Len())
-		totalW += w
-		vec := nn.FlattenVector(local.Params(), nn.LayerStates(local))
-		for i, v := range vec {
-			sumVec[i] += float32(w) * v
-		}
+		s.withProx(streams[i], local, anchor, c.Dev.Train)
+		res[i].vec = nn.FlattenVector(local.Params(), nn.LayerStates(local))
+		res[i].w = float64(c.Dev.Train.Len())
 		p := c.Mon.Profile()
-		t := p.TransferTime(bytes)*2 + trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
-		if t > slot {
-			slot = t
+		res[i].t = p.TransferTime(bytes)*2 + trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
+	})
+
+	// Canonical reduce: the weighted sum accumulates in device order, so the
+	// float32 aggregation is bit-identical to the serial loop's.
+	var totalW, slot float64
+	for i := range res {
+		if drop[i] {
+			continue
+		}
+		r := &res[i]
+		s.costs.BytesDown += bytes
+		s.costs.BytesUp += bytes
+		totalW += r.w
+		for j, v := range r.vec {
+			sumVec[j] += float32(r.w) * v
+		}
+		if r.t > slot {
+			slot = r.t
 		}
 	}
 	if totalW > 0 {
@@ -88,7 +117,7 @@ func (s *FedAvg) round(rng *tensor.RNG, clients []*Client) {
 
 // LocalAccuracy evaluates the single global model on each client's task.
 func (s *FedAvg) LocalAccuracy(clients []*Client) float64 {
-	return meanLocalAccuracyLayer(s.global, clients, s.cfg.TestPerDevice)
+	return meanLocalAccuracyLayer(s.global, clients, s.cfg.TestPerDevice, s.cfg.Workers)
 }
 
 // Costs returns accumulated accounting.

@@ -104,30 +104,63 @@ func (s *HeteroFL) round(rng *tensor.RNG, clients []*Client) {
 		stateSums[i] = tensor.New(st.Shape()...)
 		stateCnts[i] = tensor.New(st.Shape()...)
 	}
-	var slot float64
-	for _, c := range part {
-		if s.cfg.DropoutProb > 0 && rng.Float64() < s.cfg.DropoutProb {
-			continue // device dropped out of this round
+	// Coordinator prep: dropout rolls, per-device streams, and the rate map
+	// (clientRate caches into s.rate) in canonical order.
+	n := len(part)
+	drop := make([]bool, n)
+	rates := make([]float64, n)
+	for i, c := range part {
+		if s.cfg.DropoutProb > 0 {
+			drop[i] = rng.Float64() < s.cfg.DropoutProb
 		}
-		rate := s.clientRate(c)
-		local := s.sliceDown(rng, rate)
+		if !drop[i] {
+			rates[i] = s.clientRate(c)
+		}
+	}
+	streams := splitStreams(rng, n)
+
+	// Parallel phase: slice, train, and cost each surviving device against
+	// its own stream; the global model is only read.
+	type result struct {
+		local nn.Layer
+		bytes int64
+		t     float64
+	}
+	res := make([]result, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		if drop[i] {
+			return
+		}
+		c := part[i]
+		local := s.sliceDown(streams[i], rates[i])
 		bytes := modelBytes(local)
-		s.costs.BytesDown += bytes
-		TrainLayer(rng, local, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR*s.collabScale(), s.cfg.BatchSize)
-		s.costs.BytesUp += bytes
-		s.local[c.Dev.ID] = local
-		lp, ls := local.Params(), nn.LayerStates(local)
-		for i := range lp {
-			nn.AccumOverlap(sums[i], cnts[i], lp[i].W, 1)
-		}
-		for i := range ls {
-			nn.AccumOverlap(stateSums[i], stateCnts[i], ls[i], 1)
-		}
+		TrainLayer(streams[i], local, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR*s.collabScale(), s.cfg.BatchSize)
 		p := c.Mon.Profile()
 		fwd, _ := nn.ForwardCost(local, s.Task.InElems())
-		t := p.TransferTime(bytes)*2 + trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
-		if t > slot {
-			slot = t
+		res[i] = result{local: local, bytes: bytes,
+			t: p.TransferTime(bytes)*2 + trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)}
+	})
+
+	// Canonical reduce: overlap accumulation runs in device order, keeping
+	// the per-coordinate float32 sums identical to the serial loop's.
+	var slot float64
+	for i := range res {
+		if drop[i] {
+			continue
+		}
+		r := &res[i]
+		s.costs.BytesDown += r.bytes
+		s.costs.BytesUp += r.bytes
+		s.local[part[i].Dev.ID] = r.local
+		lp, ls := r.local.Params(), nn.LayerStates(r.local)
+		for j := range lp {
+			nn.AccumOverlap(sums[j], cnts[j], lp[j].W, 1)
+		}
+		for j := range ls {
+			nn.AccumOverlap(stateSums[j], stateCnts[j], ls[j], 1)
+		}
+		if r.t > slot {
+			slot = r.t
 		}
 	}
 	// Per-coordinate average over covering clients; uncovered coordinates
@@ -154,7 +187,7 @@ func (s *HeteroFL) round(rng *tensor.RNG, clients []*Client) {
 // device's local task (the HeteroFL paper's evaluation protocol; devices
 // with the full-rate slice serve exactly this model).
 func (s *HeteroFL) LocalAccuracy(clients []*Client) float64 {
-	return meanLocalAccuracyLayer(s.global, clients, s.cfg.TestPerDevice)
+	return meanLocalAccuracyLayer(s.global, clients, s.cfg.TestPerDevice, s.cfg.Workers)
 }
 
 // Costs returns accumulated accounting.

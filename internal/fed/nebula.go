@@ -155,9 +155,11 @@ func (s *Nebula) capabilityFraction(effectiveFLOPS float64) float64 {
 	return frac
 }
 
-// importanceOf computes a device's module importance from (a sample of) its
-// local data using only the lightweight selector.
-func (s *Nebula) importanceOf(c *Client) [][]float64 {
+// importanceWith computes a device's module importance from (a sample of)
+// its local data using only the lightweight selector. Callers pass their own
+// selector copy (Selector.Clone) because Forward mutates activation caches
+// and importance probes run concurrently across devices.
+func (s *Nebula) importanceWith(sel *modular.Selector, c *Client) [][]float64 {
 	ds := c.Dev.Train
 	n := ds.Len()
 	if n > 64 {
@@ -168,7 +170,7 @@ func (s *Nebula) importanceOf(c *Client) [][]float64 {
 		idx[i] = i
 	}
 	x, _ := ds.Batch(idx)
-	return s.Model.Importance(x)
+	return s.Model.ImportanceWith(sel, x)
 }
 
 // Adapt runs cfg.Rounds online rounds (or, for the w/o-cloud variant, pure
@@ -186,124 +188,213 @@ func (s *Nebula) Adapt(rng *tensor.RNG, clients []*Client) {
 // Round runs one online round.
 func (s *Nebula) Round(rng *tensor.RNG, clients []*Client) { s.round(rng, clients) }
 
+// nebulaResult is one device's round outcome, filled by a worker and folded
+// into strategy state by the coordinator in canonical device order.
+type nebulaResult struct {
+	sub    *modular.SubModel
+	imp    [][]float64
+	update *modular.Update
+	down   int64
+	up     int64
+	t      float64 // slot candidate (link + train + fault time)
+	gate   bool    // selector package transferred this round
+	span   trace.Span
+}
+
 func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
 	round := s.costs.Rounds + 1
 	s.Trace.RoundStart(round)
-	var updates []*modular.Update
-	var slot float64
-	for _, c := range part {
-		if s.cfg.DropoutProb > 0 && rng.Float64() < s.cfg.DropoutProb {
+
+	// Coordinator prep: all master-stream draws and all shared-state reads,
+	// in canonical device order. Fault rolls are keyed hashes, but their stat
+	// counters mutate, so they are pre-drawn here too.
+	n := len(part)
+	drop := make([]bool, n)
+	held := make([]*modular.SubModel, n)
+	hadGate := make([]bool, n)
+	fetchOK := make([]bool, n)
+	fetchExtra := make([]float64, n)
+	pushOK := make([]bool, n)
+	pushExtra := make([]float64, n)
+	for i, c := range part {
+		if s.cfg.DropoutProb > 0 {
+			drop[i] = rng.Float64() < s.cfg.DropoutProb
+		}
+		if drop[i] {
 			continue // device dropped out of this round
 		}
 		id := c.Dev.ID
-		imp := s.importanceOf(c)
-		held := s.subs[id]
-		fetchOK, fetchExtra := s.Faults.Fetch(round, id)
+		held[i] = s.subs[id]
+		hadGate[i] = s.hasGatePkg[id]
+		fetchOK[i], fetchExtra[i] = s.Faults.Fetch(round, id)
+		switch {
+		case fetchOK[i]:
+		case held[i] != nil:
+			s.Faults.NoteFallback()
+		default:
+			s.Faults.NoteSkip()
+		}
+		if s.LocalTraining && (fetchOK[i] || held[i] != nil) {
+			pushOK[i], pushExtra[i] = s.Faults.Push(round, id)
+		}
+	}
+	streams := splitStreams(rng, n)
+
+	// Parallel phase: each device works against its own stream, sub-model,
+	// selector copy, and result slot.
+	res := make([]nebulaResult, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		if drop[i] {
+			return
+		}
+		c := part[i]
+		id := c.Dev.ID
+		r := &res[i]
+		if !fetchOK[i] && held[i] == nil {
+			// No cache to fall back on: sit the round out. The wasted link
+			// time still bounds the slot (the device was trying).
+			r.span.Notef("round %d device %d: fetch lost, no cached sub-model, skipping round", round, id)
+			r.t = fetchExtra[i]
+			return
+		}
 		var sub *modular.SubModel
 		var bytes int64
-		switch {
-		case fetchOK:
+		imp := s.importanceWith(s.Model.Selector.Clone(), c)
+		if fetchOK[i] {
 			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
-			if held != nil && overlapRatio(held.Mapping, active) >= s.RederiveOverlap {
+			if held[i] != nil && overlapRatio(held[i].Mapping, active) >= s.RederiveOverlap {
 				// Keep the personalized sub-model; pull the cloud's current
 				// parameters for the held modules and blend them in.
-				cloudSub := s.Model.Extract(held.Mapping)
-				blendSubModels(held, cloudSub, s.PullBlend)
-				sub = held
+				cloudSub := s.Model.Extract(held[i].Mapping)
+				blendSubModels(held[i], cloudSub, s.PullBlend)
+				sub = held[i]
 				bytes = cloudSub.BackboneBytes()
 			} else {
 				// First contact or the local task moved: new structure.
 				sub = s.Model.Extract(active)
 				bytes = sub.BackboneBytes()
 			}
-			if !s.hasGatePkg[id] {
+			if !hadGate[i] {
 				bytes += sub.SelectorBytes()
-				s.hasGatePkg[id] = true
+				r.gate = true
 			}
-		case held != nil:
+		} else {
 			// Download lost after retries: degrade to the cached sub-model —
 			// train it on fresh local data without this round's cloud pull.
-			s.Faults.NoteFallback()
-			s.Trace.Notef("round %d device %d: fetch lost, serving cached sub-model", round, id)
-			sub = held
-		default:
-			// No cache to fall back on: sit the round out. The wasted link
-			// time still bounds the slot (the device was trying).
-			s.Faults.NoteSkip()
-			s.Trace.Notef("round %d device %d: fetch lost, no cached sub-model, skipping round", round, id)
-			if fetchExtra > slot {
-				slot = fetchExtra
-			}
-			continue
+			r.span.Notef("round %d device %d: fetch lost, serving cached sub-model", round, id)
+			sub = held[i]
 		}
-		s.costs.BytesDown += bytes
-		s.subs[id] = sub
-		s.imps[id] = imp
 		p := c.Mon.Profile()
-		t := p.TransferTime(bytes) + fetchExtra
-		var up int64
+		t := p.TransferTime(bytes) + fetchExtra[i]
 		if s.LocalTraining {
-			TrainSubModel(rng, sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
+			TrainSubModel(streams[i], sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
 			upBytes := int64(nn.ParamCount(sub.Params())) * 4 // modules+stem+head; selector is not updated on edge
 			_, fwd, _ := s.Model.SelectionCost(sub.Mapping)
 			t += trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
-			pushOK, pushExtra := s.Faults.Push(round, id)
-			t += pushExtra
-			if pushOK {
-				s.costs.BytesUp += upBytes
+			t += pushExtra[i]
+			if pushOK[i] {
 				hist := c.Dev.Train.ClassHistogram()
 				cw := make([]float64, len(hist))
-				for ci, n := range hist {
-					cw[ci] = float64(n)
+				for ci, cnt := range hist {
+					cw[ci] = float64(cnt)
 				}
-				updates = append(updates, &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw})
+				r.update = &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw}
 				t += p.TransferTime(upBytes)
-				up = upBytes
+				r.up = upBytes
 			} else {
 				// Upload lost after retries: the local training still
 				// happened (and improved the cached sub-model), but this
 				// round aggregates without the device.
-				s.Trace.Notef("round %d device %d: push lost, round aggregates without it", round, id)
+				r.span.Notef("round %d device %d: push lost, round aggregates without it", round, id)
 			}
 		}
-		if t > slot {
-			slot = t
+		r.sub, r.imp, r.down, r.t = sub, imp, bytes, t
+		r.span.ClientUpdate(round, id, sub.NumModules(), bytes, r.up, t)
+	})
+
+	// Canonical reduce: fold results in device order — identical to what the
+	// serial loop produced.
+	var updates []*modular.Update
+	var slot float64
+	for i := range res {
+		if drop[i] {
+			continue
 		}
-		s.Trace.ClientUpdate(round, id, sub.NumModules(), bytes, up, t)
+		r := &res[i]
+		s.Trace.Flush(&r.span)
+		if r.t > slot {
+			slot = r.t
+		}
+		if r.sub == nil {
+			continue // sat the round out
+		}
+		id := part[i].Dev.ID
+		s.costs.BytesDown += r.down
+		s.costs.BytesUp += r.up
+		s.subs[id] = r.sub
+		s.imps[id] = r.imp
+		if r.gate {
+			s.hasGatePkg[id] = true
+		}
+		if r.update != nil {
+			updates = append(updates, r.update)
+		}
 	}
 	if len(updates) > 0 {
 		s.Model.AggregateModuleWise(updates)
 		s.Trace.Aggregate(round, len(updates))
 	}
+	s.Trace.RoundEnd(round, slot)
 	s.costs.SimTime += slot
 	s.costs.Rounds++
 }
 
 // adaptLocalOnly implements the w/o-cloud ablation: derive once, then only
-// local training.
+// local training. Devices run concurrently with the same coordinator-prep /
+// parallel / canonical-reduce structure as the full round.
 func (s *Nebula) adaptLocalOnly(rng *tensor.RNG, clients []*Client) {
-	var slot float64
-	for _, c := range clients {
-		sub, ok := s.subs[c.Dev.ID]
-		if !ok {
-			imp := s.importanceOf(c)
+	n := len(clients)
+	held := make([]*modular.SubModel, n)
+	for i, c := range clients {
+		held[i] = s.subs[c.Dev.ID]
+	}
+	streams := splitStreams(rng, n)
+	type result struct {
+		sub  *modular.SubModel
+		down int64
+		t    float64
+	}
+	res := make([]result, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		c := clients[i]
+		sub := held[i]
+		if sub == nil {
+			imp := s.importanceWith(s.Model.Selector.Clone(), c)
 			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
 			sub = s.Model.Extract(active)
-			s.costs.BytesDown += sub.ParamBytes()
-			s.hasGatePkg[c.Dev.ID] = true
-			s.subs[c.Dev.ID] = sub
+			res[i].down = sub.ParamBytes()
 		}
-		TrainSubModel(rng, sub, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
+		TrainSubModel(streams[i], sub, c.Dev.Train, s.cfg.FinetuneEpochs, s.cfg.LR, s.cfg.BatchSize)
 		p := c.Mon.Profile()
 		fwd := 0
 		if m := s.Model; m != nil {
-			_, f, _ := m.SelectionCost(s.activeOf(sub))
+			_, f, _ := m.SelectionCost(sub.Mapping)
 			fwd = f
 		}
-		t := trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
-		if t > slot {
-			slot = t
+		res[i].sub = sub
+		res[i].t = trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
+	})
+	var slot float64
+	for i, c := range clients {
+		r := &res[i]
+		if held[i] == nil {
+			s.costs.BytesDown += r.down
+			s.hasGatePkg[c.Dev.ID] = true
+		}
+		s.subs[c.Dev.ID] = r.sub
+		if r.t > slot {
+			slot = r.t
 		}
 	}
 	s.costs.SimTime += slot
@@ -340,44 +431,64 @@ func overlapRatio(held [][]int, active [][]int) float64 {
 }
 
 // blendSubModels blends cloud parameters into a local sub-model:
-// local = (1−b)·local + b·cloud, for parameters and states.
+// local = (1−b)·local + b·cloud, for parameters and ALL layer states —
+// stem, the selected modules, and head. Module states matter: they carry
+// BatchNorm running statistics, and a refresh that pulls module weights but
+// not their normalization stats would serve cloud weights under stale local
+// normalization.
 func blendSubModels(local, cloud *modular.SubModel, b float32) {
 	lp, cp := local.Params(), cloud.Params()
 	for i := range lp {
 		lp[i].W.Scale(1 - b)
 		lp[i].W.AddScaled(b, cp[i].W)
 	}
-	ls := append(nn.LayerStates(local.Stem), nn.LayerStates(local.Head)...)
-	cs := append(nn.LayerStates(cloud.Stem), nn.LayerStates(cloud.Head)...)
+	ls, cs := local.AllStates(), cloud.AllStates()
 	for i := range ls {
 		ls[i].Scale(1 - b)
 		ls[i].AddScaled(b, cs[i])
 	}
 }
 
-// activeOf reconstructs the original-index selection of a sub-model.
-func (s *Nebula) activeOf(sub *modular.SubModel) [][]int {
-	return sub.Mapping
-}
-
 // LocalAccuracy evaluates each device's current sub-model; devices that
 // never participated derive one on the spot (a pure download, charged).
+// Evaluation fans out across devices; derived-on-the-spot sub-models and
+// their cost charges are committed in canonical device order.
 func (s *Nebula) LocalAccuracy(clients []*Client) float64 {
 	if len(clients) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, c := range clients {
-		sub, ok := s.subs[c.Dev.ID]
-		if !ok {
-			imp := s.importanceOf(c)
+	n := len(clients)
+	held := make([]*modular.SubModel, n)
+	for i, c := range clients {
+		held[i] = s.subs[c.Dev.ID]
+	}
+	type result struct {
+		sub  *modular.SubModel
+		down int64
+		acc  float64
+	}
+	res := make([]result, n)
+	forEachDevice(s.cfg.Workers, n, func(i int) {
+		c := clients[i]
+		sub := held[i]
+		if sub == nil {
+			imp := s.importanceWith(s.Model.Selector.Clone(), c)
 			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
 			sub = s.Model.Extract(active)
-			s.costs.BytesDown += sub.ParamBytes()
-			s.hasGatePkg[c.Dev.ID] = true
-			s.subs[c.Dev.ID] = sub
+			res[i].down = sub.ParamBytes()
 		}
-		sum += EvalSubModel(sub, c.Dev.TestSet(s.cfg.TestPerDevice))
+		res[i].sub = sub
+		res[i].acc = EvalSubModel(sub, c.Dev.TestSet(s.cfg.TestPerDevice))
+	})
+	var sum float64
+	for i, c := range clients {
+		r := &res[i]
+		if held[i] == nil {
+			s.costs.BytesDown += r.down
+			s.hasGatePkg[c.Dev.ID] = true
+			s.subs[c.Dev.ID] = r.sub
+		}
+		sum += r.acc
 	}
 	return sum / float64(len(clients))
 }

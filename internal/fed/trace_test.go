@@ -51,4 +51,13 @@ func TestNebulaEmitsTraceEvents(t *testing.T) {
 	if updates != 2*3 || aggs != 2 {
 		t.Fatalf("events: %d updates, %d aggregations", updates, aggs)
 	}
+	// Replayed SimTime must match the live accounting exactly: each round
+	// contributes its slot (the round's max, carried by round_end), summed
+	// across rounds — the regression the old global-max Summarize understated.
+	if sum.SimTime != costs.SimTime {
+		t.Fatalf("trace SimTime %v disagrees with Costs.SimTime %v", sum.SimTime, costs.SimTime)
+	}
+	if err := trace.CheckSeq(events); err != nil {
+		t.Fatal(err)
+	}
 }

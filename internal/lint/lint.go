@@ -84,6 +84,7 @@ func All() []Analyzer {
 		MutexCopy{},
 		SeedRand{},
 		HotAlloc{},
+		SharedRNG{},
 	}
 }
 

@@ -44,6 +44,7 @@ func TestFixtures(t *testing.T) {
 		"mutexcopy.go":  {"mutexcopy"},
 		"seedrand.go":   {"seedrand"},
 		"hotalloc.go":   {"hotalloc"},
+		"sharedrng.go":  {"sharedrng"},
 		"clean.go":      nil,
 		"suppressed.go": nil,
 		"nolintbare.go": {"nolint"},

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// SharedRNG flags references to the coordinator's master RNG (the
+// conventionally-named `rng` stream) inside function literals passed to the
+// round executors forEachDevice / forEachDeviceState. Worker bodies run
+// concurrently: touching the shared stream there is a data race AND makes the
+// draw sequence depend on scheduling, breaking the workers=N ≡ workers=1
+// bitwise-reproducibility contract (docs/PARALLEL.md). The canonical fix is
+// to pre-split per-device streams in the coordinator — `streams :=
+// splitStreams(rng, n)` — and use `streams[i]` inside the body.
+type SharedRNG struct{}
+
+// Name implements Analyzer.
+func (SharedRNG) Name() string { return "sharedrng" }
+
+// Doc implements Analyzer.
+func (SharedRNG) Doc() string {
+	return "shared coordinator RNG referenced inside a forEachDevice worker body; pre-split per-device streams"
+}
+
+// DefaultPaths implements Analyzer: the round executors live in internal/fed.
+func (SharedRNG) DefaultPaths() []string { return []string{"internal/fed"} }
+
+// roundExecutors are the fan-out entry points whose function-literal
+// arguments (worker body and per-worker state constructor) run concurrently.
+var roundExecutors = map[string]bool{
+	"forEachDevice":      true,
+	"forEachDeviceState": true,
+}
+
+// Check implements Analyzer.
+func (SharedRNG) Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !roundExecutors[calleeName(call)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			fn, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			bound := localNames(fn)
+			if bound["rng"] {
+				continue // shadowed: the body owns its own rng
+			}
+			inspectValueIdents(fn.Body, func(id *ast.Ident) {
+				if id.Name != "rng" {
+					return
+				}
+				out = append(out, Diagnostic{
+					Pos:   f.Fset.Position(id.Pos()),
+					Check: "sharedrng",
+					Message: fmt.Sprintf(
+						"worker body passed to %s references the shared coordinator RNG %q; pre-split device streams in the coordinator (streams := splitStreams(rng, n)) and use streams[i]",
+						calleeName(call), id.Name),
+				})
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// localNames collects every identifier the function literal binds itself:
+// parameters, := definitions, var declarations, and range variables.
+func localNames(fn *ast.FuncLit) map[string]bool {
+	names := map[string]bool{}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				names[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						names[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range v.Names {
+				names[id.Name] = true
+			}
+		case *ast.RangeStmt:
+			if v.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{v.Key, v.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						names[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// inspectValueIdents walks n and reports identifiers used as values, skipping
+// selector field names (x.rng selects a field, it does not reference a free
+// variable) and struct-literal keys.
+func inspectValueIdents(n ast.Node, visit func(*ast.Ident)) {
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			ast.Inspect(v.X, walk)
+			return false
+		case *ast.KeyValueExpr:
+			ast.Inspect(v.Value, walk)
+			return false
+		case *ast.Ident:
+			visit(v)
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+}

@@ -1,0 +1,28 @@
+package testdata
+
+// Minimal stand-ins for the fed round executor and RNG so the fixture
+// exercises the callee-name match without importing the real packages.
+type fakeRNG struct{ state uint64 }
+
+func (r *fakeRNG) Float() float32 { return float32(r.state) }
+
+func forEachDevice(workers, n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}
+
+func sharedRNGInWorker() float32 {
+	rng := &fakeRNG{state: 1}
+	out := make([]float32, 4)
+	forEachDevice(2, 4, func(i int) {
+		out[i] = rng.Float() // want: shared stream touched concurrently
+	})
+	// Shadowed streams are the sanctioned pattern and must stay silent.
+	streams := []*fakeRNG{{2}, {3}, {4}, {5}}
+	forEachDevice(2, 4, func(i int) {
+		rng := streams[i]
+		out[i] += rng.Float()
+	})
+	return out[0]
+}

@@ -103,7 +103,15 @@ func (m *Model) Backward(dLogits *tensor.Tensor, lbWeight float32) (lbLoss float
 // the mean selector probability over samples (Section 5.1's importance
 // metric). The model itself is not executed — only the lightweight selector.
 func (m *Model) Importance(x *tensor.Tensor) [][]float64 {
-	probs := m.Selector.Forward(x, false)
+	return m.ImportanceWith(m.Selector, x)
+}
+
+// ImportanceWith is Importance evaluated through a caller-owned selector copy
+// (see Selector.Clone). Selector.Forward mutates the selector's activation
+// caches, so concurrent per-device importance probes must each bring their
+// own copy; the model is only read here.
+func (m *Model) ImportanceWith(sel *Selector, x *tensor.Tensor) [][]float64 {
+	probs := sel.Forward(x, false)
 	batch := x.Dim(0)
 	out := make([][]float64, len(m.Layers))
 	for l := range m.Layers {

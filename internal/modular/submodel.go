@@ -42,12 +42,17 @@ func (m *Model) Extract(active [][]int) *SubModel {
 	return s
 }
 
-// Clone deep-copies a selector.
+// Clone deep-copies a selector. The clone is built from reads only — it must
+// not draw from the parent's RNG stream, because Extract runs concurrently
+// across devices during parallel rounds and the parent stream would then
+// depend on extraction order. The clone gets a fixed-seed stream instead; it
+// is only ever consumed by noisy-top-k training forwards, which edge-side
+// selector copies (frozen, train=false) never perform.
 func (s *Selector) Clone() *Selector {
 	c := &Selector{
 		Embed:    nn.CloneLayer(s.Embed).(*nn.Sequential),
 		NoiseStd: s.NoiseStd,
-		rng:      s.rng.Split(),
+		rng:      tensor.NewRNG(0x5e1ec708), // "selector": constant, parent stream untouched
 	}
 	for _, h := range s.Heads {
 		c.Heads = append(c.Heads, nn.CloneLayer(h).(*nn.Dense))
@@ -121,6 +126,19 @@ func (s *SubModel) SelectorBytes() int64 {
 // backbone plus selector.
 func (s *SubModel) ParamBytes() int64 {
 	return s.BackboneBytes() + s.SelectorBytes()
+}
+
+// AllStates returns every layer state tensor of the sub-model — stem, each
+// selected module in layer order, head — in a fixed order. Two sub-models
+// extracted from the same mapping align element-wise.
+func (s *SubModel) AllStates() []*tensor.Tensor {
+	st := nn.LayerStates(s.Stem)
+	for _, l := range s.Layers {
+		for _, m := range l.Modules {
+			st = append(st, nn.LayerStates(m)...)
+		}
+	}
+	return append(st, nn.LayerStates(s.Head)...)
 }
 
 // backboneStates returns stem and head state tensors in a fixed order.

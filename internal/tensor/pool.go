@@ -99,6 +99,22 @@ func exitParallel(wg *sync.WaitGroup) {
 	parallelDepth.Add(-1)
 }
 
+// WithSerialKernels runs fn with the nested-parallelism depth guard raised:
+// every tensor kernel invoked inside (GEMM bands, ParallelFor bodies, …) runs
+// serially on the calling goroutine instead of fanning out onto the worker
+// pool. Coarse-grained fan-outs above the tensor layer — e.g. the federated
+// round executor running one training session per device — wrap each outer
+// worker's body in this so device-level and kernel-level parallelism never
+// multiply into GOMAXPROCS oversubscription. Numerics are unaffected: every
+// kernel's floating-point evaluation order is fixed per element regardless of
+// how the work is scheduled (see the depth-guard contract above), so results
+// are bitwise identical with the guard raised or not.
+func WithSerialKernels(fn func()) {
+	parallelDepth.Add(1)
+	defer parallelDepth.Add(-1)
+	fn()
+}
+
 // ParallelFor splits [0, n) into contiguous chunks and runs fn(start, end) on
 // each chunk concurrently. fn must be safe to call from multiple goroutines on
 // disjoint ranges and must not synchronize between chunks. It runs serially

@@ -21,6 +21,7 @@ const (
 	KindRoundStart   Kind = "round_start"
 	KindClientUpdate Kind = "client_update"
 	KindAggregate    Kind = "aggregate"
+	KindRoundEnd     Kind = "round_end"
 	KindEval         Kind = "eval"
 	KindNote         Kind = "note"
 )
@@ -48,6 +49,7 @@ type Logger struct {
 	w     io.Writer
 	seq   int64
 	clock func() time.Time
+	err   error // first write/marshal failure, sticky
 }
 
 // New creates a logger writing to w. A nil w discards events.
@@ -55,7 +57,9 @@ func New(w io.Writer) *Logger {
 	return &Logger{w: w, clock: time.Now}
 }
 
-// NewWithClock creates a logger with a custom clock (deterministic tests).
+// NewWithClock creates a logger with a custom clock. A nil clock omits the
+// wall timestamp entirely — use this when the log must be byte-identical
+// across runs (deterministic tests, the workers differential gate).
 func NewWithClock(w io.Writer, clock func() time.Time) *Logger {
 	return &Logger{w: w, clock: clock}
 }
@@ -67,6 +71,14 @@ func (l *Logger) Emit(e Event) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.emitLocked(e)
+}
+
+// emitLocked stamps and writes one event; the caller holds l.mu. The first
+// failure — marshal or write — is recorded and every later Emit keeps
+// writing (a transient failure should not silence the rest of the log), but
+// Err() stays set so the run can fail loudly at the end.
+func (l *Logger) emitLocked(e Event) {
 	l.seq++
 	e.Seq = l.seq
 	if l.clock != nil {
@@ -74,10 +86,35 @@ func (l *Logger) Emit(e Event) {
 	}
 	data, err := json.Marshal(e)
 	if err != nil {
-		fmt.Fprintf(l.w, `{"kind":"note","note":"marshal error: %s"}`+"\n", err)
+		l.setErr(fmt.Errorf("trace: marshal event %d: %w", e.Seq, err))
+		if _, werr := fmt.Fprintf(l.w, `{"kind":"note","note":"marshal error: %s"}`+"\n", err); werr != nil {
+			l.setErr(fmt.Errorf("trace: write event %d: %w", e.Seq, werr))
+		}
 		return
 	}
-	l.w.Write(append(data, '\n'))
+	if _, err := l.w.Write(append(data, '\n')); err != nil {
+		l.setErr(fmt.Errorf("trace: write event %d: %w", e.Seq, err))
+	}
+}
+
+// setErr records the first failure; later ones are dropped (the first is the
+// actionable one — everything after is usually the same broken sink).
+func (l *Logger) setErr(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write or marshal error the logger has hit, nil if
+// the log is intact. Callers that persist traces must check it before
+// trusting the file (cmd/nebula-sim fails the run on a non-nil Err).
+func (l *Logger) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
 }
 
 // RoundStart logs the beginning of a communication round.
@@ -96,6 +133,15 @@ func (l *Logger) Aggregate(round, updates int) {
 	l.Emit(Event{Kind: KindAggregate, Round: round, Modules: updates})
 }
 
+// RoundEnd logs the end of a round with its authoritative slot time — the
+// simulated seconds the round took (slowest participant, including link time
+// spent by devices that ended up skipping). Replayed summaries sum these
+// instead of re-deriving slots from client updates, which would miss
+// skipped-device link time.
+func (l *Logger) RoundEnd(round int, simTime float64) {
+	l.Emit(Event{Kind: KindRoundEnd, Round: round, SimTime: simTime})
+}
+
 // Eval logs an accuracy measurement.
 func (l *Logger) Eval(round int, acc float64) {
 	l.Emit(Event{Kind: KindEval, Round: round, Accuracy: acc})
@@ -104,6 +150,60 @@ func (l *Logger) Eval(round int, acc float64) {
 // Notef logs a freeform annotation.
 func (l *Logger) Notef(format string, args ...any) {
 	l.Emit(Event{Kind: KindNote, Note: fmt.Sprintf(format, args...)})
+}
+
+// Span is a per-producer event buffer for concurrent pipelines: each worker
+// records its events into its own Span (no locking, no sequence numbers),
+// and the coordinator flushes the spans in canonical order once the fan-out
+// has joined. The resulting log is bitwise independent of how the workers
+// interleaved. A nil *Span is usable and discards nothing — events buffer
+// only through non-nil spans, so allocate one per device.
+type Span struct {
+	events []Event
+}
+
+// ClientUpdate buffers one device's participation record.
+func (s *Span) ClientUpdate(round, client, modules int, bytesDown, bytesUp int64, simTime float64) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{Kind: KindClientUpdate, Round: round, Client: client,
+		Modules: modules, BytesDn: bytesDown, BytesUp: bytesUp, SimTime: simTime})
+}
+
+// Notef buffers a freeform annotation.
+func (s *Span) Notef(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{Kind: KindNote, Note: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of buffered events.
+func (s *Span) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Flush emits a span's buffered events in order, stamping sequence numbers
+// and wall time under one lock acquisition. The span is emptied and can be
+// reused. Nil logger or nil/empty span are no-ops.
+func (l *Logger) Flush(s *Span) {
+	if s == nil || len(s.events) == 0 {
+		return
+	}
+	if l == nil || l.w == nil {
+		s.events = s.events[:0]
+		return
+	}
+	l.mu.Lock()
+	for _, e := range s.events {
+		l.emitLocked(e)
+	}
+	l.mu.Unlock()
+	s.events = s.events[:0]
 }
 
 // Read parses a JSONL stream back into events (the replay side).
@@ -121,6 +221,19 @@ func Read(r io.Reader) ([]Event, error) {
 	}
 }
 
+// CheckSeq verifies a replayed log is gap-free: sequence numbers must start
+// at 1 and increase by exactly 1. A gap means the producer dropped a write
+// (the failure mode Logger.Err records on the producing side); replay-side
+// consumers use this to refuse silently-truncated accounting.
+func CheckSeq(events []Event) error {
+	for i, e := range events {
+		if want := int64(i + 1); e.Seq != want {
+			return fmt.Errorf("trace: sequence gap at event %d: seq %d, want %d (a write was dropped or the log was truncated)", i, e.Seq, want)
+		}
+	}
+	return nil
+}
+
 // Summary aggregates a log's accounting: total bytes both ways, simulated
 // time, rounds seen, and the accuracy trajectory.
 type Summary struct {
@@ -131,22 +244,38 @@ type Summary struct {
 	Accuracy  []float64
 }
 
-// Summarize folds events into a Summary.
+// Summarize folds events into a Summary. SimTime matches the live
+// Costs.SimTime accounting: each round contributes its slot — the round_end
+// value when present, otherwise the maximum client-update SimTime within
+// that round — and the slots are summed across rounds.
 func Summarize(events []Event) Summary {
 	var s Summary
+	var roundMax float64 // max client SimTime of the open round
+	var roundDone bool   // open round already closed by an authoritative round_end
+	closeRound := func() {
+		if !roundDone {
+			s.SimTime += roundMax
+		}
+		roundMax, roundDone = 0, false
+	}
 	for _, e := range events {
 		switch e.Kind {
 		case KindRoundStart:
+			closeRound()
 			s.Rounds++
 		case KindClientUpdate:
 			s.BytesUp += e.BytesUp
 			s.BytesDown += e.BytesDn
-			if e.SimTime > s.SimTime {
-				s.SimTime = e.SimTime
+			if e.SimTime > roundMax {
+				roundMax = e.SimTime
 			}
+		case KindRoundEnd:
+			s.SimTime += e.SimTime
+			roundDone = true
 		case KindEval:
 			s.Accuracy = append(s.Accuracy, e.Accuracy)
 		}
 	}
+	closeRound()
 	return s
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -92,9 +93,131 @@ func TestSummarize(t *testing.T) {
 	if len(s.Accuracy) != 3 || s.Accuracy[2] != 0.8 {
 		t.Fatalf("accuracy %v", s.Accuracy)
 	}
-	if s.SimTime != 6 {
+	// SimTime sums the per-round slot maxima — max(1,2) + max(2,4) + max(3,6)
+	// — matching the live Costs.SimTime accounting, not the global maximum.
+	if s.SimTime != 12 {
 		t.Fatalf("sim time %v", s.SimTime)
 	}
+}
+
+func TestSummarizePrefersRoundEndSlot(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.RoundStart(1)
+	l.ClientUpdate(1, 0, 3, 100, 50, 2)
+	// A skipped device's wasted link time can exceed every client update's
+	// SimTime; round_end carries the authoritative slot.
+	l.RoundEnd(1, 5)
+	l.RoundStart(2)
+	l.ClientUpdate(2, 0, 3, 100, 50, 3) // no round_end: falls back to the max
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Summarize(events); s.SimTime != 8 {
+		t.Fatalf("sim time %v, want 8 (5 from round_end + 3 from fallback)", s.SimTime)
+	}
+}
+
+// failAfter fails every Write after the first n.
+type failAfter struct {
+	n    int
+	seen int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.seen++
+	if w.seen > w.n {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestLoggerErrRecordsFirstWriteFailure(t *testing.T) {
+	l := New(&failAfter{n: 1})
+	l.RoundStart(1)
+	if err := l.Err(); err != nil {
+		t.Fatalf("unexpected early error: %v", err)
+	}
+	l.Eval(1, 0.5) // dropped
+	l.Eval(1, 0.6) // also dropped
+	err := l.Err()
+	if err == nil {
+		t.Fatal("write failures must surface via Err")
+	}
+	if !strings.Contains(err.Error(), "event 2") {
+		t.Fatalf("Err must keep the FIRST failure: %v", err)
+	}
+	var nilLogger *Logger
+	if nilLogger.Err() != nil {
+		t.Fatal("nil logger must report no error")
+	}
+}
+
+func TestCheckSeqDetectsGaps(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.RoundStart(1)
+	l.Eval(1, 0.5)
+	l.Eval(1, 0.6)
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSeq(events); err != nil {
+		t.Fatalf("intact log flagged: %v", err)
+	}
+	gapped := append(append([]Event{}, events[0]), events[2]) // drop seq 2
+	if err := CheckSeq(gapped); err == nil {
+		t.Fatal("dropped event must be detected")
+	}
+}
+
+func TestSpanFlushIsOrderedAndStamped(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWithClock(&buf, nil) // nil clock: no wall field, byte-stable
+	l.RoundStart(1)
+	var a, b Span
+	b.Notef("device 9 first note")
+	b.ClientUpdate(1, 9, 2, 10, 20, 0.5)
+	a.ClientUpdate(1, 4, 2, 10, 20, 0.25)
+	// Flush in canonical order regardless of fill order.
+	l.Flush(&a)
+	l.Flush(&b)
+	if a.Len() != 0 || b.Len() != 0 {
+		t.Fatal("flush must drain spans")
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSeq(events); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind   Kind
+		client int
+	}{{KindRoundStart, 0}, {KindClientUpdate, 4}, {KindNote, 0}, {KindClientUpdate, 9}}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, w := range want {
+		if events[i].Kind != w.kind || events[i].Client != w.client {
+			t.Fatalf("event %d: %+v, want kind %s client %d", i, events[i], w.kind, w.client)
+		}
+		if events[i].Wall != "" {
+			t.Fatalf("nil clock must omit wall: %+v", events[i])
+		}
+	}
+	// A nil span and flushing into a nil logger are both no-ops.
+	var nilLogger *Logger
+	var sp Span
+	sp.Notef("discarded")
+	nilLogger.Flush(&sp)
+	if sp.Len() != 0 {
+		t.Fatal("nil-logger flush must still drain the span")
+	}
+	l.Flush(nil)
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
