@@ -31,10 +31,13 @@ go test -race ./...
 
 echo "== workers differential gate (artifacts identical for -workers 1 vs 4)"
 difftmp=$(mktemp -d)
+# -admin-addr stays on: artifacts must be identical with the telemetry
+# plane live (the registry is write-only; docs/OBSERVABILITY.md).
 for w in 1 4; do
     go run ./cmd/nebula-sim -exp faults -devices 6 -proxy 8 -steps 2 \
         -pretrain-epochs 1 -finetune-epochs 1 -local-epochs 1 -seed 5 \
-        -workers "$w" -trace "$difftmp/w$w.jsonl" >"$difftmp/w$w.out"
+        -workers "$w" -admin-addr 127.0.0.1:0 \
+        -trace "$difftmp/w$w.jsonl" >"$difftmp/w$w.out" 2>/dev/null
 done
 cmp "$difftmp/w1.out" "$difftmp/w4.out" || {
     echo "ci: experiment output differs between -workers 1 and -workers 4" >&2
@@ -46,6 +49,76 @@ cmp "$difftmp/w1.jsonl" "$difftmp/w4.jsonl" || {
 }
 go run ./cmd/nebula-trace "$difftmp/w1.jsonl" >/dev/null
 rm -rf "$difftmp"
+
+echo "== admin plane gate (live /healthz, /metrics, pprof; scrapes byte-stable at quiescence)"
+admtmp=$(mktemp -d)
+# Build a real binary: `go run` interposes a parent process, so the sim could
+# not be reliably killed or reaped from here. The run doubles as a seed
+# audit with the admin plane live: determinism must hold while scraped.
+go build -o "$admtmp/nebula-sim" ./cmd/nebula-sim
+"$admtmp/nebula-sim" -exp fig1b -seed 7 -seed-audit \
+    -admin-addr 127.0.0.1:0 -admin-linger 60s \
+    >"$admtmp/run.out" 2>"$admtmp/run.err" &
+simpid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^admin: serving on http://||p' "$admtmp/run.err")
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "ci: admin server never reported a bound address" >&2; exit 1; }
+# Poll /statusz until the run reports quiescence: after that point every
+# counter is final, so two scrapes must be byte-identical.
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sf "http://$addr/statusz" | sed -n '1p')
+    case "$state" in *quiescent*) break ;; esac
+    sleep 0.2
+done
+case "$state" in
+*quiescent*) ;;
+*)
+    echo "ci: run never reached quiescence (last statusz line: $state)" >&2
+    kill "$simpid" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+curl -sf "http://$addr/healthz" | grep -qx 'ok' || {
+    echo "ci: /healthz did not answer ok" >&2
+    exit 1
+}
+curl -sf "http://$addr/metrics" >"$admtmp/m1.txt"
+curl -sf "http://$addr/metrics" >"$admtmp/m2.txt"
+cmp "$admtmp/m1.txt" "$admtmp/m2.txt" || {
+    echo "ci: /metrics not byte-stable across two scrapes at quiescence" >&2
+    exit 1
+}
+# Exposition sanity: every non-comment line is `name{labels} value`, and all
+# three instrumented layers export families.
+if grep -v '^#' "$admtmp/m1.txt" | grep -qvE '^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [-+0-9.eEInfa]+$'; then
+    echo "ci: /metrics contains a malformed exposition line:" >&2
+    grep -v '^#' "$admtmp/m1.txt" | grep -vE '^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [-+0-9.eEInfa]+$' | head -3 >&2
+    exit 1
+fi
+for fam in nebula_tensor_gemm_total nebula_fed_rounds_total nebula_edgenet_client_events_total; do
+    grep -q "^$fam" "$admtmp/m1.txt" || {
+        echo "ci: /metrics is missing family $fam" >&2
+        exit 1
+    }
+done
+curl -sf "http://$addr/debug/pprof/goroutine?debug=1" | grep -q '^goroutine profile:' || {
+    echo "ci: /debug/pprof/goroutine did not return a profile" >&2
+    exit 1
+}
+# The run only reaches quiescence after the audit verdict is printed, so
+# this grep cannot race the check above.
+grep -q 'seed-audit: OK' "$admtmp/run.err" || {
+    echo "ci: seed audit failed with the admin plane live" >&2
+    exit 1
+}
+kill "$simpid" 2>/dev/null || true
+wait "$simpid" 2>/dev/null || true
+rm -rf "$admtmp"
 
 echo "== bench smoke (kernel benches compile and run once)"
 go test -run '^$' -bench 'BenchmarkGemm|BenchmarkDenseStep|BenchmarkConvStep' -benchtime 1x . >/dev/null

@@ -23,21 +23,23 @@ import (
 	"repro/internal/edgenet"
 	"repro/internal/fed"
 	"repro/internal/modular"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
 func main() {
 	var (
-		taskName = flag.String("task", "har-mlp", "task: har-mlp | image10-resnet | image100-vgg | speech-resnet")
-		addr     = flag.String("addr", ":7070", "listen address")
-		agg      = flag.Int("agg", 4, "aggregate after this many uploads")
-		seed     = flag.Int64("seed", 1, "shared seed (must match edges)")
-		proxy    = flag.Int("proxy", 40, "proxy samples per class for offline training")
-		epochs   = flag.Int("epochs", 5, "offline training epochs")
-		scale    = flag.String("scale", "quick", "model scale: quick | paper")
-		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
-		loadPath = flag.String("load", "", "load a checkpoint instead of offline training")
-		savePath = flag.String("save", "", "write a checkpoint after offline training and on shutdown")
+		taskName  = flag.String("task", "har-mlp", "task: har-mlp | image10-resnet | image100-vgg | speech-resnet")
+		addr      = flag.String("addr", ":7070", "listen address")
+		agg       = flag.Int("agg", 4, "aggregate after this many uploads")
+		seed      = flag.Int64("seed", 1, "shared seed (must match edges)")
+		proxy     = flag.Int("proxy", 40, "proxy samples per class for offline training")
+		epochs    = flag.Int("epochs", 5, "offline training epochs")
+		scale     = flag.String("scale", "quick", "model scale: quick | paper")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
+		loadPath  = flag.String("load", "", "load a checkpoint instead of offline training")
+		savePath  = flag.String("save", "", "write a checkpoint after offline training and on shutdown")
+		adminAddr = flag.String("admin-addr", "", "serve /metrics, /statusz, /healthz and /debug/pprof/ on this address (merges the RPC server's registry with process telemetry)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,17 @@ func main() {
 	}
 	log.Printf("cloud serving %s on %s (aggregate every %d updates)", task.Name, bound, *agg)
 
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(obs.Default(), srv.Registry())
+		adminBound, err := admin.Listen(*adminAddr)
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		admin.SetState("running")
+		log.Printf("admin plane on http://%s (/metrics, /statusz, /debug/pprof/)", adminBound)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
@@ -95,6 +108,9 @@ func main() {
 	log.Printf("shutting down: served %d sub-models, received %d updates, %d aggregations",
 		st.SubModelsServed, st.UpdatesReceived, st.Aggregations)
 	srv.Close()
+	if admin != nil {
+		_ = admin.Close()
+	}
 	saveCheckpoint(*savePath, model)
 }
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/edgenet"
 	"repro/internal/experiments"
 	"repro/internal/fed"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,9 @@ func main() {
 		seedAudit = flag.Bool("seed-audit", false, "run the experiment twice with the same seed and verify byte-identical output")
 		faults    = flag.String("faults", "", "inject a seeded lossy link into online-stage experiments, e.g. 'drop=0.25,delay=20ms,reset=0.05' (seed=N to replay a specific fault stream; defaults to -seed)")
 		tracePath = flag.String("trace", "", "write the online-stage adaptation log (JSON lines) to this file")
+
+		adminAddr   = flag.String("admin-addr", "", "serve /metrics, /statusz, /healthz and /debug/pprof/ on this address (use 127.0.0.1:0 for an ephemeral port; the bound address is printed to stderr)")
+		adminLinger = flag.Duration("admin-linger", 0, "keep the admin server up this long after the run finishes so it can be scraped at quiescence")
 	)
 	flag.IntVar(&opt.Workers, "workers", runtime.NumCPU(), "per-round device parallelism; artifacts are bitwise identical for every value, including 1")
 	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "random seed")
@@ -104,7 +108,24 @@ func main() {
 		opt.Trace = trace.NewWithClock(f, nil)
 	}
 
-	start := time.Now()
+	// The admin plane is pure observer: registries are write-only telemetry
+	// and the HTTP goroutines never touch simulation state, so artifacts are
+	// byte-identical with or without -admin-addr (ci.sh enforces this by
+	// running the seed-audit gate with the admin server enabled).
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(obs.Default())
+		admin.SetState("starting")
+		bound, err := admin.Listen(*adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-sim: admin:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "admin: serving on http://%s\n", bound)
+		admin.SetState("running")
+	}
+
+	start := obs.StartTimer()
 	if *seedAudit {
 		if err := runSeedAudit(*exp, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "nebula-sim:", err)
@@ -127,7 +148,16 @@ func main() {
 		}
 	}
 	if opt.Verbose {
-		fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "done in %s\n", start.Elapsed().Round(time.Millisecond))
+	}
+	if admin != nil {
+		// All experiment work is finished: counters are final, pool gauges
+		// are back to zero, and /metrics is byte-stable scrape to scrape.
+		admin.SetState("quiescent")
+		if *adminLinger > 0 {
+			time.Sleep(*adminLinger)
+		}
+		_ = admin.Close()
 	}
 }
 

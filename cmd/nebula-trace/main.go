@@ -6,25 +6,41 @@
 //
 //	nebula-trace run.jsonl
 //	... | nebula-trace -
+//	nebula-trace -metrics run.jsonl
+//
+// -metrics replays the log through the same RoundMetrics accounting the live
+// simulator records (internal/fed) and prints the resulting registry in
+// Prometheus text exposition format — the offline counterpart of scraping a
+// live run's /metrics endpoint. Replaying a trace and scraping the run that
+// produced it yield identical deterministic families (docs/OBSERVABILITY.md).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/fed"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: nebula-trace <file.jsonl | ->")
+	metricsMode := flag.Bool("metrics", false, "print the replayed registry in Prometheus text format instead of the human summary")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nebula-trace [-metrics] <file.jsonl | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
 	var r io.Reader = os.Stdin
-	if os.Args[1] != "-" {
-		f, err := os.Open(os.Args[1])
+	if flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nebula-trace:", err)
 			os.Exit(1)
@@ -43,6 +59,14 @@ func main() {
 	if err := trace.CheckSeq(events); err != nil {
 		fmt.Fprintln(os.Stderr, "nebula-trace:", err)
 		os.Exit(1)
+	}
+	if *metricsMode {
+		reg := fed.ReplayTrace(events)
+		if err := obs.WritePrometheus(os.Stdout, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-trace:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	s := trace.Summarize(events)
 	fmt.Printf("events:       %d\n", len(events))

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/modular"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // RetryPolicy controls client-side resilience: per-call deadlines plus
@@ -172,18 +173,25 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 				continue
 			}
 			c.stats.Retries++
+			clientMetrics.retries.Inc()
 		}
 		req.Attempt = attempt
 		if c.dl != nil && c.Policy.CallTimeout > 0 {
-			_ = c.dl.SetReadDeadline(time.Now().Add(c.Policy.CallTimeout))
-			_ = c.dl.SetWriteDeadline(time.Now().Add(c.Policy.CallTimeout))
+			_ = c.dl.SetReadDeadline(time.Now().Add(c.Policy.CallTimeout))  //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+			_ = c.dl.SetWriteDeadline(time.Now().Add(c.Policy.CallTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
+		sw := obs.StartTimer()
+		inBefore, outBefore := c.codec.Traffic()
 		resp, err := c.codec.Call(req)
 		if c.dl != nil && c.Policy.CallTimeout > 0 {
 			_ = c.dl.SetReadDeadline(time.Time{})
 			_ = c.dl.SetWriteDeadline(time.Time{})
 		}
 		if err == nil {
+			in, out := c.codec.Traffic()
+			clientMetrics.reqBytes[req.Kind].Observe(float64(out - outBefore))
+			clientMetrics.rspBytes[req.Kind].Observe(float64(in - inBefore))
+			clientMetrics.rpcSeconds[req.Kind].ObserveSince(sw)
 			return resp, nil
 		}
 		if resp != nil {
@@ -194,6 +202,7 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
 			c.stats.Timeouts++
+			clientMetrics.timeouts.Inc()
 		}
 		lastErr = err
 	}
@@ -234,6 +243,7 @@ func (c *EdgeClient) reconnect() error {
 	}
 	c.attach(rw)
 	c.stats.Reconnects++
+	clientMetrics.reconnects.Inc()
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/modular"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Server is the cloud side of the testbed: it owns the modularized model,
@@ -32,9 +33,13 @@ type Server struct {
 
 	mu      sync.Mutex
 	pending []*modular.Update
-	stats   Stats
 	lastSeq map[int]int64 // deviceID → highest applied PushUpdate Seq
 	conns   map[net.Conn]struct{}
+
+	// metrics is the per-server obs registry — the single source of truth
+	// for the protocol counters. StatsSnapshot and KindStats render views of
+	// it (see obs.go). Counter updates are atomic and need no s.mu.
+	metrics *serverMetrics
 
 	ln     net.Listener
 	closed chan struct{}
@@ -54,6 +59,7 @@ func NewServer(model *modular.Model, aggregateEvery int) *Server {
 		closed:         make(chan struct{}),
 		lastSeq:        map[int]int64{},
 		conns:          map[net.Conn]struct{}{},
+		metrics:        newServerMetrics(),
 	}
 }
 
@@ -102,9 +108,7 @@ func (s *Server) acceptLoop() {
 				delay = time.Second
 			}
 			s.logf("accept error (retrying in %v): %v", delay, err)
-			s.mu.Lock()
-			s.stats.AcceptRetries++
-			s.mu.Unlock()
+			s.metrics.acceptRetries.Inc()
 			select {
 			case <-time.After(delay):
 			case <-s.closed:
@@ -167,34 +171,41 @@ func (s *Server) ServeConn(rw interface {
 	// bytes are ever dropped from the count.
 	defer func() {
 		in, out := codec.Traffic()
-		s.mu.Lock()
-		s.stats.BytesIn += in
-		s.stats.BytesOut += out
-		s.mu.Unlock()
+		s.metrics.bytesIn.Add(float64(in))
+		s.metrics.bytesOut.Add(float64(out))
 	}()
 	dl, _ := rw.(connDeadliner)
+	// prevIn/prevOut checkpoint the codec's traffic so each request and
+	// response wire size can be observed individually.
+	var prevIn, prevOut int64
 	for {
 		if dl != nil && s.ReadTimeout > 0 {
-			_ = dl.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+			_ = dl.SetReadDeadline(time.Now().Add(s.ReadTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
 		var req Request
 		if err := codec.Recv(&req); err != nil {
 			s.noteConnError("recv", err)
 			return
 		}
+		sw := obs.StartTimer()
+		in, _ := codec.Traffic()
+		s.metrics.reqBytes[req.Kind].Observe(float64(in - prevIn))
+		prevIn = in
 		if req.Attempt > 0 {
-			s.mu.Lock()
-			s.stats.Retries++
-			s.mu.Unlock()
+			s.metrics.retries.Inc()
 		}
 		resp := s.handle(&req)
 		if dl != nil && s.WriteTimeout > 0 {
-			_ = dl.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			_ = dl.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
 		if err := codec.Send(resp); err != nil {
 			s.noteConnError("send", err)
 			return
 		}
+		_, out := codec.Traffic()
+		s.metrics.rspBytes[req.Kind].Observe(float64(out - prevOut))
+		prevOut = out
+		s.metrics.rpcSeconds[req.Kind].ObserveSince(sw)
 		if req.Kind == KindShutdown {
 			return
 		}
@@ -208,16 +219,12 @@ func (s *Server) noteConnError(op string, err error) {
 	var nerr net.Error
 	switch {
 	case errors.As(err, &nerr) && nerr.Timeout():
-		s.mu.Lock()
-		s.stats.Timeouts++
-		s.mu.Unlock()
+		s.metrics.timeouts.Inc()
 		s.logf("%s timeout: %v", op, err)
 	case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed), errors.Is(err, io.ErrClosedPipe):
 		// Clean disconnect.
 	default:
-		s.mu.Lock()
-		s.stats.Resets++
-		s.mu.Unlock()
+		s.metrics.resets.Inc()
 		s.logf("%s error: %v", op, err)
 	}
 }
@@ -246,10 +253,7 @@ func (s *Server) handle(req *Request) *Response {
 		return &Response{OK: true, Deduped: deduped}
 
 	case KindStats:
-		s.mu.Lock()
-		st := s.stats
-		s.mu.Unlock()
-		return &Response{OK: true, Stats: st}
+		return &Response{OK: true, Stats: s.StatsSnapshot()}
 
 	case KindShutdown:
 		return &Response{OK: true}
@@ -281,8 +285,8 @@ func (s *Server) serveSubModel(req *Request) (resp *Response, err error) {
 		defer s.mu.Unlock()
 		active = s.Model.Derive(req.Importance, req.Budget.ToBudget(), false)
 		sub = s.Model.Extract(active)
-		s.stats.SubModelsServed++
 	}()
+	s.metrics.subModelsServed.Inc()
 	s.logf("device %d sub-model: %d modules, %d B", req.DeviceID, sub.NumModules(), sub.BackboneBytes())
 	resp = &Response{OK: true, Active: active}
 	if req.Quant {
@@ -305,7 +309,7 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 	// original. If that Seq was already applied, the first attempt succeeded
 	// but its response was lost — acknowledge without re-aggregating.
 	if req.Seq != 0 && req.Seq <= s.lastSeq[req.DeviceID] {
-		s.stats.Dedups++
+		s.metrics.dedups.Inc()
 		s.logf("device %d replayed update seq %d (deduped)", req.DeviceID, req.Seq)
 		return true, nil
 	}
@@ -334,12 +338,12 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 		s.lastSeq[req.DeviceID] = req.Seq
 	}
 	s.pending = append(s.pending, &modular.Update{Sub: sub, Importance: req.Importance, Weight: req.Weight})
-	s.stats.UpdatesReceived++
+	s.metrics.updatesReceived.Inc()
 	if len(s.pending) >= s.AggregateEvery {
 		s.Model.AggregateModuleWise(s.pending)
 		s.pending = nil
-		s.stats.Aggregations++
-		s.logf("aggregated round %d", s.stats.Aggregations)
+		s.metrics.aggregations.Inc()
+		s.logf("aggregated round %d", int64(s.metrics.aggregations.Value()))
 	}
 	return false, nil
 }
@@ -351,15 +355,27 @@ func (s *Server) FlushAggregation() {
 	if len(s.pending) > 0 {
 		s.Model.AggregateModuleWise(s.pending)
 		s.pending = nil
-		s.stats.Aggregations++
+		s.metrics.aggregations.Inc()
 	}
 }
 
-// StatsSnapshot returns current counters.
+// StatsSnapshot renders the registry counters in the legacy Stats wire form.
+// The registry is authoritative; this view is what KindStats responses carry,
+// so the RPC answer and /metrics can never disagree.
 func (s *Server) StatsSnapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	m := s.metrics
+	return Stats{
+		SubModelsServed: int64(m.subModelsServed.Value()),
+		UpdatesReceived: int64(m.updatesReceived.Value()),
+		Aggregations:    int64(m.aggregations.Value()),
+		BytesIn:         int64(m.bytesIn.Value()),
+		BytesOut:        int64(m.bytesOut.Value()),
+		Retries:         int64(m.retries.Value()),
+		Timeouts:        int64(m.timeouts.Value()),
+		Resets:          int64(m.resets.Value()),
+		Dedups:          int64(m.dedups.Value()),
+		AcceptRetries:   int64(m.acceptRetries.Value()),
+	}
 }
 
 func safeLoad(sub *modular.SubModel, vec []float32) (err error) {

@@ -90,8 +90,11 @@ func (f *FaultModel) Fetch(round, dev int) (ok bool, extraTime float64) {
 	ok, extraTime, tries := f.try(opFetch, round, dev)
 	f.stats.Fetches++
 	f.stats.FetchRetries += int64(tries - 1)
+	noteFault("fetch", 1)
+	noteFault("fetch_retry", int64(tries-1))
 	if !ok {
 		f.stats.FetchFailures++
+		noteFault("fetch_failure", 1)
 	}
 	return ok, extraTime
 }
@@ -104,8 +107,11 @@ func (f *FaultModel) Push(round, dev int) (ok bool, extraTime float64) {
 	ok, extraTime, tries := f.try(opPush, round, dev)
 	f.stats.Pushes++
 	f.stats.PushRetries += int64(tries - 1)
+	noteFault("push", 1)
+	noteFault("push_retry", int64(tries-1))
 	if !ok {
 		f.stats.PushFailures++
+		noteFault("push_failure", 1)
 	}
 	return ok, extraTime
 }
@@ -115,6 +121,7 @@ func (f *FaultModel) Push(round, dev int) (ok bool, extraTime float64) {
 func (f *FaultModel) NoteFallback() {
 	if f != nil {
 		f.stats.Fallbacks++
+		noteFault("fallback", 1)
 	}
 }
 
@@ -122,6 +129,7 @@ func (f *FaultModel) NoteFallback() {
 func (f *FaultModel) NoteSkip() {
 	if f != nil {
 		f.stats.SkippedRounds++
+		noteFault("skip", 1)
 	}
 }
 

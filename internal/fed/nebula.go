@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/modular"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -59,6 +60,12 @@ type Nebula struct {
 
 	// Trace optionally receives structured per-round events (nil = off).
 	Trace *trace.Logger
+
+	// Metrics optionally binds this strategy to a private obs registry
+	// (tests, replay tooling). Nil uses the package default on
+	// obs.Default(). Metrics are write-only telemetry: nothing in the round
+	// logic reads them back, so they cannot perturb artifacts.
+	Metrics *RoundMetrics
 
 	// Faults optionally replays a lossy edge-cloud link (nil = clean
 	// network). A device whose fetch is lost after retries degrades to its
@@ -205,6 +212,9 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
 	round := s.costs.Rounds + 1
 	s.Trace.RoundStart(round)
+	m := s.metrics()
+	m.currentRound.Set(float64(round))
+	swPrep := obs.StartTimer()
 
 	// Coordinator prep: all master-stream draws and all shared-state reads,
 	// in canonical device order. Fault rolls are keyed hashes, but their stat
@@ -240,9 +250,11 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 		}
 	}
 	streams := splitStreams(rng, n)
+	m.phasePrep.ObserveSince(swPrep)
 
 	// Parallel phase: each device works against its own stream, sub-model,
 	// selector copy, and result slot.
+	swParallel := obs.StartTimer()
 	res := make([]nebulaResult, n)
 	forEachDevice(s.cfg.Workers, n, func(i int) {
 		if drop[i] {
@@ -313,10 +325,15 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 		r.span.ClientUpdate(round, id, sub.NumModules(), bytes, r.up, t)
 	})
 
+	m.phaseParallel.ObserveSince(swParallel)
+
 	// Canonical reduce: fold results in device order — identical to what the
-	// serial loop produced.
+	// serial loop produced. Metric updates here are part of the serial
+	// phase, so counter values (and float accumulation order) are a pure
+	// function of the seeds — exactly what trace.Summarize recomputes.
 	var updates []*modular.Update
 	var slot float64
+	live := 0
 	for i := range res {
 		if drop[i] {
 			continue
@@ -329,9 +346,13 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 		if r.sub == nil {
 			continue // sat the round out
 		}
+		live++
 		id := part[i].Dev.ID
 		s.costs.BytesDown += r.down
 		s.costs.BytesUp += r.up
+		m.bytesDown.Add(float64(r.down))
+		m.bytesUp.Add(float64(r.up))
+		m.deviceSimSeconds.Observe(r.t)
 		s.subs[id] = r.sub
 		s.imps[id] = r.imp
 		if r.gate {
@@ -341,13 +362,21 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 			updates = append(updates, r.update)
 		}
 	}
+	m.participants.Set(float64(live))
 	if len(updates) > 0 {
+		swAggregate := obs.StartTimer()
 		s.Model.AggregateModuleWise(updates)
 		s.Trace.Aggregate(round, len(updates))
+		m.phaseAggregate.ObserveSince(swAggregate)
+		m.aggregations.Inc()
+		m.updates.Add(float64(len(updates)))
 	}
 	s.Trace.RoundEnd(round, slot)
 	s.costs.SimTime += slot
 	s.costs.Rounds++
+	m.simSeconds.Add(slot)
+	m.roundSlotSeconds.Observe(slot)
+	m.rounds.Inc()
 }
 
 // adaptLocalOnly implements the w/o-cloud ablation: derive once, then only
@@ -386,19 +415,25 @@ func (s *Nebula) adaptLocalOnly(rng *tensor.RNG, clients []*Client) {
 		res[i].t = trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.FinetuneEpochs, s.cfg.BatchSize)
 	})
 	var slot float64
+	m := s.metrics()
 	for i, c := range clients {
 		r := &res[i]
 		if held[i] == nil {
 			s.costs.BytesDown += r.down
+			m.bytesDown.Add(float64(r.down))
 			s.hasGatePkg[c.Dev.ID] = true
 		}
 		s.subs[c.Dev.ID] = r.sub
 		if r.t > slot {
 			slot = r.t
 		}
+		m.deviceSimSeconds.Observe(r.t)
 	}
 	s.costs.SimTime += slot
 	s.costs.Rounds++
+	m.simSeconds.Add(slot)
+	m.roundSlotSeconds.Observe(slot)
+	m.rounds.Inc()
 }
 
 // overlapRatio computes the Jaccard overlap between a held sub-model's
@@ -481,16 +516,20 @@ func (s *Nebula) LocalAccuracy(clients []*Client) float64 {
 		res[i].acc = EvalSubModel(sub, c.Dev.TestSet(s.cfg.TestPerDevice))
 	})
 	var sum float64
+	m := s.metrics()
 	for i, c := range clients {
 		r := &res[i]
 		if held[i] == nil {
 			s.costs.BytesDown += r.down
+			m.bytesDown.Add(float64(r.down))
 			s.hasGatePkg[c.Dev.ID] = true
 			s.subs[c.Dev.ID] = r.sub
 		}
 		sum += r.acc
 	}
-	return sum / float64(len(clients))
+	acc := sum / float64(len(clients))
+	m.lastAccuracy.Set(acc)
+	return acc
 }
 
 // Costs returns accumulated accounting.

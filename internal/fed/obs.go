@@ -1,0 +1,195 @@
+package fed
+
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Telemetry for the federated round engine (docs/OBSERVABILITY.md).
+//
+// Two classes of metrics live here, with different determinism guarantees:
+//
+//   - Deterministic accounting (rounds, traffic bytes, simulated seconds,
+//     round-slot and per-device sim-time histograms, fault outcomes). These
+//     are recorded only in the serial coordinator phases — prep and
+//     canonical reduce — in canonical device order, so their values are a
+//     pure function of the seeds: equal across worker counts and replays,
+//     and exactly equal to what trace.Summarize computes from the JSONL log
+//     (the cross-check test pins this).
+//
+//   - Wall-clock operational metrics (phase timings, worker-pool gauges).
+//     These vary run to run by nature. They are fed exclusively through
+//     obs.Stopwatch, never written into Costs or the trace, and nothing in
+//     the round logic reads them back — the artifact-neutrality contract.
+//
+// RoundMetrics can be bound to any registry; the package default binds to
+// obs.Default(). ReplayTrace rebuilds the deterministic subset from a JSONL
+// trace into a fresh registry, which is what `nebula-trace -metrics` prints —
+// so offline traces and live /metrics endpoints are directly comparable.
+
+// RoundMetrics holds the fed layer's instrument handles on one registry.
+type RoundMetrics struct {
+	rounds     *obs.Counter
+	simSeconds *obs.Counter
+	bytesDown  *obs.Counter
+	bytesUp    *obs.Counter
+
+	aggregations *obs.Counter
+	updates      *obs.Counter
+
+	currentRound *obs.Gauge
+	participants *obs.Gauge
+	lastAccuracy *obs.Gauge
+
+	roundSlotSeconds *obs.Histogram
+	deviceSimSeconds *obs.Histogram
+
+	// Wall-clock phase timings (nondeterministic by nature).
+	phasePrep      *obs.Histogram
+	phaseParallel  *obs.Histogram
+	phaseAggregate *obs.Histogram
+
+	// Worker-pool occupancy, fed by forEachDeviceState.
+	poolWorkers *obs.Gauge
+	poolBusy    *obs.Gauge
+	poolTasks   *obs.Counter
+	poolInline  *obs.Counter
+	poolFanout  *obs.Counter
+
+	// Fault-model outcome mirrors (FaultStats stays authoritative).
+	faultEvents map[string]*obs.Counter
+}
+
+// simSlotBuckets cover simulated round/device durations: 50 ms … ~27 min.
+var simSlotBuckets = obs.ExpBuckets(0.05, 2, 15)
+
+// NewRoundMetrics binds fed-layer handles to a registry.
+func NewRoundMetrics(r *obs.Registry) *RoundMetrics {
+	r.Help("nebula_fed_rounds_total", "Completed adaptation rounds.")
+	r.Help("nebula_fed_sim_seconds_total", "Accumulated simulated time (sum of round slots).")
+	r.Help("nebula_fed_traffic_bytes_total", "Simulated edge-cloud traffic, by direction.")
+	r.Help("nebula_fed_aggregations_total", "Module-wise aggregations performed.")
+	r.Help("nebula_fed_updates_aggregated_total", "Device updates folded into aggregations.")
+	r.Help("nebula_fed_current_round", "Round currently executing (or last executed).")
+	r.Help("nebula_fed_participants", "Devices participating in the current round after dropout.")
+	r.Help("nebula_fed_last_accuracy", "Most recent evaluated mean local accuracy.")
+	r.Help("nebula_fed_round_slot_seconds", "Simulated duration of each round (slowest participant).")
+	r.Help("nebula_fed_device_sim_seconds", "Simulated per-device round time (link + train + faults).")
+	r.Help("nebula_fed_phase_wall_seconds", "Wall-clock time per round phase (operational, nondeterministic).")
+	r.Help("nebula_fed_pool_workers", "Worker count of the most recent device fan-out.")
+	r.Help("nebula_fed_pool_busy", "Device tasks currently executing in the worker pool.")
+	r.Help("nebula_fed_pool_tasks_total", "Device tasks executed by the worker pool.")
+	r.Help("nebula_fed_pool_dispatch_total", "Fan-out invocations, by dispatch mode.")
+	r.Help("nebula_fed_fault_events_total", "Simulated link fault outcomes, mirroring FaultStats.")
+	m := &RoundMetrics{
+		rounds:           r.Counter("nebula_fed_rounds_total"),
+		simSeconds:       r.Counter("nebula_fed_sim_seconds_total"),
+		bytesDown:        r.Counter("nebula_fed_traffic_bytes_total", "dir", "down"),
+		bytesUp:          r.Counter("nebula_fed_traffic_bytes_total", "dir", "up"),
+		aggregations:     r.Counter("nebula_fed_aggregations_total"),
+		updates:          r.Counter("nebula_fed_updates_aggregated_total"),
+		currentRound:     r.Gauge("nebula_fed_current_round"),
+		participants:     r.Gauge("nebula_fed_participants"),
+		lastAccuracy:     r.Gauge("nebula_fed_last_accuracy"),
+		roundSlotSeconds: r.Histogram("nebula_fed_round_slot_seconds", simSlotBuckets),
+		deviceSimSeconds: r.Histogram("nebula_fed_device_sim_seconds", simSlotBuckets),
+		phasePrep:        r.Histogram("nebula_fed_phase_wall_seconds", obs.DefBuckets, "phase", "prep"),
+		phaseParallel:    r.Histogram("nebula_fed_phase_wall_seconds", obs.DefBuckets, "phase", "parallel"),
+		phaseAggregate:   r.Histogram("nebula_fed_phase_wall_seconds", obs.DefBuckets, "phase", "aggregate"),
+		poolWorkers:      r.Gauge("nebula_fed_pool_workers"),
+		poolBusy:         r.Gauge("nebula_fed_pool_busy"),
+		poolTasks:        r.Counter("nebula_fed_pool_tasks_total"),
+		poolInline:       r.Counter("nebula_fed_pool_dispatch_total", "mode", "inline"),
+		poolFanout:       r.Counter("nebula_fed_pool_dispatch_total", "mode", "fanout"),
+		faultEvents:      map[string]*obs.Counter{},
+	}
+	for _, ev := range []string{
+		"fetch", "fetch_retry", "fetch_failure", "fallback", "skip",
+		"push", "push_retry", "push_failure",
+	} {
+		m.faultEvents[ev] = r.Counter("nebula_fed_fault_events_total", "event", ev)
+	}
+	return m
+}
+
+// fedMetrics is the package default, bound to the process registry.
+var fedMetrics = NewRoundMetrics(obs.Default())
+
+// metrics returns the strategy's registry binding: the explicit one when
+// set (private registries in tests, replay tooling), else the package
+// default.
+func (s *Nebula) metrics() *RoundMetrics {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return fedMetrics
+}
+
+// Replay folds a JSONL trace into the deterministic subset of the round
+// metrics, mirroring trace.Summarize exactly: bytes come from client_update
+// events; each round contributes its round_end slot when present, otherwise
+// the maximum client-update sim-time of the round.
+func (m *RoundMetrics) Replay(events []trace.Event) {
+	var roundMax float64
+	var roundDone bool
+	closeRound := func() {
+		if !roundDone {
+			m.simSeconds.Add(roundMax)
+			m.roundSlotSeconds.Observe(roundMax)
+		}
+		roundMax, roundDone = 0, false
+	}
+	started := false
+	participants := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindRoundStart:
+			if started {
+				closeRound()
+				m.participants.Set(float64(participants))
+			}
+			started = true
+			participants = 0
+			m.rounds.Inc()
+			m.currentRound.Set(float64(e.Round))
+		case trace.KindClientUpdate:
+			participants++
+			m.bytesUp.Add(float64(e.BytesUp))
+			m.bytesDown.Add(float64(e.BytesDn))
+			m.deviceSimSeconds.Observe(e.SimTime)
+			if e.SimTime > roundMax {
+				roundMax = e.SimTime
+			}
+		case trace.KindAggregate:
+			m.aggregations.Inc()
+			m.updates.Add(float64(e.Modules))
+		case trace.KindRoundEnd:
+			m.simSeconds.Add(e.SimTime)
+			m.roundSlotSeconds.Observe(e.SimTime)
+			roundDone = true
+		case trace.KindEval:
+			m.lastAccuracy.Set(e.Accuracy)
+		}
+	}
+	if started {
+		closeRound()
+		m.participants.Set(float64(participants))
+	}
+}
+
+// ReplayTrace renders a JSONL trace as a fresh registry holding the fed
+// layer's deterministic metrics — the engine behind `nebula-trace -metrics`.
+func ReplayTrace(events []trace.Event) *obs.Registry {
+	r := obs.NewRegistry()
+	NewRoundMetrics(r).Replay(events)
+	return r
+}
+
+// noteFault mirrors one fault outcome onto the package counters (FaultModel
+// has no registry binding of its own; fault rolls happen on the coordinator,
+// so these updates are serial and deterministic).
+func noteFault(event string, n int64) {
+	if n != 0 {
+		fedMetrics.faultEvents[event].Add(float64(n))
+	}
+}

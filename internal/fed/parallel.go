@@ -58,16 +58,23 @@ func forEachDeviceState(workers, n int, newState func() any, body func(state any
 	if workers > n {
 		workers = n
 	}
+	// Pool telemetry (docs/OBSERVABILITY.md): dispatch counters and a live
+	// occupancy gauge. Write-only — bodies never read these — so the fan-out
+	// stays artifact-neutral; the gauge returns to 0 at quiescence.
+	fedMetrics.poolWorkers.Set(float64(workers))
 	if workers == 1 {
+		fedMetrics.poolInline.Inc()
 		var st any
 		if newState != nil {
 			st = newState()
 		}
 		for i := 0; i < n; i++ {
+			fedMetrics.poolTasks.Inc()
 			body(st, i)
 		}
 		return
 	}
+	fedMetrics.poolFanout.Inc()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -84,7 +91,10 @@ func forEachDeviceState(workers, n int, newState func() any, body func(state any
 					if i >= n {
 						return
 					}
+					fedMetrics.poolTasks.Inc()
+					fedMetrics.poolBusy.Add(1)
 					body(st, i)
+					fedMetrics.poolBusy.Add(-1)
 				}
 			})
 		}()

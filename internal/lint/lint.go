@@ -85,6 +85,7 @@ func All() []Analyzer {
 		SeedRand{},
 		HotAlloc{},
 		SharedRNG{},
+		RawClock{},
 	}
 }
 

@@ -45,6 +45,7 @@ func TestFixtures(t *testing.T) {
 		"seedrand.go":   {"seedrand"},
 		"hotalloc.go":   {"hotalloc"},
 		"sharedrng.go":  {"sharedrng"},
+		"rawclock.go":   {"rawclock", "rawclock"},
 		"clean.go":      nil,
 		"suppressed.go": nil,
 		"nolintbare.go": {"nolint"},

@@ -1,0 +1,13 @@
+package fixtures
+
+import "time"
+
+// rawClockTrigger reads the wall clock directly in simulation-looking code:
+// both the time.Now call and the time.Since call must be flagged.
+func rawClockTrigger() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func work() {}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Help("nebula_round_total", "Completed rounds.")
+	r.Counter("nebula_round_total").Add(3)
+	r.Gauge("nebula_bytes_up").Set(2048)
+	r.Histogram("nebula_phase_seconds", []float64{0.1, 1}, "phase", "train").Observe(0.05)
+
+	a := NewAdmin(r)
+	a.AddSection("pool", func(w io.Writer) { fmt.Fprintln(w, "workers: 4") })
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if code, body := adminGet(t, addr, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := adminGet(t, addr, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# HELP nebula_round_total Completed rounds.",
+		"# TYPE nebula_round_total counter",
+		"nebula_round_total 3",
+		"nebula_bytes_up 2048",
+		`nebula_phase_seconds_bucket{phase="train",le="0.1"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Byte-stability at quiescence: two scrapes must be identical.
+	_, again := adminGet(t, addr, "/metrics")
+	if body != again {
+		t.Fatalf("/metrics not byte-stable:\n--- 1 ---\n%s--- 2 ---\n%s", body, again)
+	}
+
+	if code, body := adminGet(t, addr, "/metrics.json"); code != 200 || !strings.Contains(body, `"nebula_round_total"`) {
+		t.Fatalf("/metrics.json = %d %q", code, body)
+	}
+
+	a.SetState("running")
+	code, body = adminGet(t, addr, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	for _, want := range []string{"state:  running", "nebula_round_total", "2.00 KiB", "== pool ==", "workers: 4"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz missing %q in:\n%s", want, body)
+		}
+	}
+
+	if code, body := adminGet(t, addr, "/debug/pprof/goroutine?debug=1"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof goroutine = %d %q", code, body)
+	}
+
+	if code, _ := adminGet(t, addr, "/no-such"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	if code, body := adminGet(t, addr, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+}
+
+func TestAdminMergesRegistries(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("nebula_from_a_total").Inc()
+	b := NewRegistry()
+	b.Counter("nebula_from_b_total").Inc()
+	adm := NewAdmin(a, b)
+	addr, err := adm.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	_, body := adminGet(t, addr, "/metrics")
+	ia, ib := strings.Index(body, "nebula_from_a_total"), strings.Index(body, "nebula_from_b_total")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("merged exposition wrong:\n%s", body)
+	}
+}
+
+func TestAdminCloseIsIdempotentAndNilSafe(t *testing.T) {
+	var nilAdm *Admin
+	if err := nilAdm.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	nilAdm.SetState("x")
+	if s := nilAdm.State(); s != "" {
+		t.Fatalf("nil State = %q", s)
+	}
+	adm := NewAdmin(NewRegistry())
+	if err := adm.Close(); err != nil { // never listened
+		t.Fatalf("unlistened Close: %v", err)
+	}
+}
+
+func TestHumanize(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want string
+	}{
+		{"nebula_bytes_up", 512, "512 B"},
+		{"nebula_bytes_up", 2048, "2.00 KiB"},
+		{"nebula_traffic_bytes", 3 * 1024 * 1024, "3.00 MiB"},
+		{"nebula_phase_seconds", 0, "0 s"},
+		{"nebula_phase_seconds", 0.0000005, "0.5 µs"},
+		{"nebula_phase_seconds", 0.002, "2.0 ms"},
+		{"nebula_phase_seconds", 1.5, "1.50 s"},
+		{"nebula_phase_seconds", 600, "10.0 min"},
+		{"nebula_round_total", 42, "42"},
+	}
+	for _, c := range cases {
+		if got := humanize(c.name, c.v); got != c.want {
+			t.Errorf("humanize(%s, %v) = %q, want %q", c.name, c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package obs
+
+import "time"
+
+// Stopwatch is the sanctioned way to measure wall-clock time outside this
+// package. nebula-lint's rawclock check bans direct time.Now / time.Since
+// in simulation code — wall clock leaking into simulated costs is the bug
+// class that breaks `-seed-audit` — so instrumented code starts a
+// Stopwatch and feeds the elapsed seconds into a Histogram (or discards
+// it). A Stopwatch value never influences control flow in the packages
+// that use it; it exists purely to be observed.
+type Stopwatch struct{ t0 time.Time }
+
+// StartTimer begins a wall-clock measurement.
+func StartTimer() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Seconds returns the wall-clock seconds elapsed since StartTimer.
+func (s Stopwatch) Seconds() float64 { return time.Since(s.t0).Seconds() }
+
+// Elapsed returns the elapsed wall-clock time as a duration (for progress
+// lines on stderr, e.g. nebula-sim -v).
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }

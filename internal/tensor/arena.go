@@ -43,12 +43,15 @@ func scratchClass(n int) int {
 func GetScratch(n int) *Scratch {
 	class := scratchClass(n)
 	if class < 0 {
+		scratchOversize.Inc()
 		return &Scratch{Data: make([]float32, n), class: -1}
 	}
 	if s, ok := scratchPools[class-scratchMinBits].Get().(*Scratch); ok && s != nil {
+		scratchHit.Inc()
 		s.Data = s.Data[:n]
 		return s
 	}
+	scratchMiss.Inc()
 	return &Scratch{Data: make([]float32, n, 1<<class)[:n], class: class}
 }
 

@@ -62,9 +62,11 @@ const packedMinWork = 1 << 11
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
 	checkGemmOperands(transA, transB, m, n, k, a, b, c)
 	if alpha == 1 && (beta == 0 || beta == 1) && k > 0 && n >= nr && m*n*k >= packedMinWork {
+		gemmPackedCount.Inc()
 		gemmPacked(transA, transB, m, n, k, a, b, beta, c)
 		return
 	}
+	gemmNaiveCount.Inc()
 	gemmNaive(transA, transB, m, n, k, alpha, a, b, beta, c)
 }
 

@@ -1,0 +1,32 @@
+package tensor
+
+import "repro/internal/obs"
+
+// Kernel-layer telemetry (docs/OBSERVABILITY.md). These are pure dispatch
+// counters on obs.Default(): which GEMM path ran, whether scratch requests
+// hit the arena, and how parallel kernels dispatched. They are incremented
+// with single atomic adds (no locks, no allocations — the nn AllocsPerRun
+// pins run with them enabled) and are never read by kernel code, so they
+// cannot influence numerics or scheduling.
+var (
+	gemmPackedCount = obs.Default().Counter("nebula_tensor_gemm_total", "path", "packed")
+	gemmNaiveCount  = obs.Default().Counter("nebula_tensor_gemm_total", "path", "naive")
+
+	scratchHit      = obs.Default().Counter("nebula_tensor_scratch_total", "outcome", "hit")
+	scratchMiss     = obs.Default().Counter("nebula_tensor_scratch_total", "outcome", "miss")
+	scratchOversize = obs.Default().Counter("nebula_tensor_scratch_total", "outcome", "oversize")
+
+	parForSerial    = obs.Default().Counter("nebula_tensor_parallel_total", "kernel", "for", "mode", "serial")
+	parForFanout    = obs.Default().Counter("nebula_tensor_parallel_total", "kernel", "for", "mode", "fanout")
+	parChunksSerial = obs.Default().Counter("nebula_tensor_parallel_total", "kernel", "chunks", "mode", "serial")
+	parChunksFanout = obs.Default().Counter("nebula_tensor_parallel_total", "kernel", "chunks", "mode", "fanout")
+	parAtomSerial   = obs.Default().Counter("nebula_tensor_parallel_total", "kernel", "atomic", "mode", "serial")
+	parAtomFanout   = obs.Default().Counter("nebula_tensor_parallel_total", "kernel", "atomic", "mode", "fanout")
+)
+
+func init() {
+	r := obs.Default()
+	r.Help("nebula_tensor_gemm_total", "GEMM dispatches, by kernel path taken.")
+	r.Help("nebula_tensor_scratch_total", "Scratch-arena requests: hit = pooled buffer reused, miss = fresh allocation, oversize = above the largest size class.")
+	r.Help("nebula_tensor_parallel_total", "Parallel kernel dispatches, by kernel and serial-vs-fanout mode.")
+}

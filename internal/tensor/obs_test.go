@@ -1,0 +1,48 @@
+package tensor
+
+import "testing"
+
+// TestDispatchCountersMove sanity-checks the kernel telemetry: each dispatch
+// site increments its counter, and instrumentation stays allocation-free on
+// the scratch hot path.
+func TestDispatchCountersMove(t *testing.T) {
+	m, n, k := 8, 16, 16 // m·n·k = 2048 ≥ packedMinWork and n ≥ nr: packed path
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+
+	packedBefore := gemmPackedCount.Value()
+	Gemm(false, false, m, n, k, 1, a, b, 0, c)
+	if gemmPackedCount.Value() != packedBefore+1 {
+		t.Error("packed GEMM dispatch not counted")
+	}
+	naiveBefore := gemmNaiveCount.Value()
+	Gemm(false, false, 2, 2, 2, 0.5, a[:4], b[:4], 0, c[:4]) // alpha≠1: naive path
+	if gemmNaiveCount.Value() != naiveBefore+1 {
+		t.Error("naive GEMM dispatch not counted")
+	}
+
+	missBefore, hitBefore := scratchMiss.Value(), scratchHit.Value()
+	s := GetScratch(1 << scratchMinBits)
+	PutScratch(s)
+	s2 := GetScratch(1 << scratchMinBits)
+	if scratchMiss.Value() <= missBefore && scratchHit.Value() <= hitBefore {
+		t.Error("scratch get counted neither hit nor miss")
+	}
+	if scratchHit.Value() < hitBefore+1 {
+		t.Error("warm scratch get not counted as hit")
+	}
+	PutScratch(s2)
+
+	overBefore := scratchOversize.Value()
+	PutScratch(GetScratch((1 << scratchMaxBits) + 1))
+	if scratchOversize.Value() != overBefore+1 {
+		t.Error("oversize scratch get not counted")
+	}
+
+	serialBefore := parForSerial.Value()
+	ParallelFor(1, func(start, end int) {})
+	if parForSerial.Value() != serialBefore+1 {
+		t.Error("serial ParallelFor dispatch not counted")
+	}
+}

@@ -129,9 +129,11 @@ func ParallelFor(n int, fn func(start, end int)) {
 		return
 	}
 	if workers == 1 || n < workers*2 || parallelDepth.Load() > 0 {
+		parForSerial.Inc()
 		fn(0, n)
 		return
 	}
+	parForFanout.Inc()
 	if workers > n {
 		workers = n
 	}
@@ -165,6 +167,7 @@ func ParallelForChunks(n int, fn func(chunk, start, end int)) int {
 		return 0
 	}
 	if workers == 1 || n < workers*2 {
+		parChunksSerial.Inc()
 		fn(0, 0, n)
 		return 1
 	}
@@ -174,6 +177,7 @@ func ParallelForChunks(n int, fn func(chunk, start, end int)) int {
 	chunk := (n + workers - 1) / workers
 	numChunks := (n + chunk - 1) / chunk
 	if parallelDepth.Load() > 0 {
+		parChunksSerial.Inc()
 		for ci := 0; ci < numChunks; ci++ {
 			start := ci * chunk
 			end := start + chunk
@@ -184,6 +188,7 @@ func ParallelForChunks(n int, fn func(chunk, start, end int)) int {
 		}
 		return numChunks
 	}
+	parChunksFanout.Inc()
 	wg := enterParallel()
 	for ci := 1; ci < numChunks; ci++ {
 		start := ci * chunk
@@ -232,11 +237,13 @@ func ParallelForAtomic(n int, fn func(i int)) {
 		return
 	}
 	if workers == 1 || n == 1 || parallelDepth.Load() > 0 {
+		parAtomSerial.Inc()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	parAtomFanout.Inc()
 	if workers > n {
 		workers = n
 	}
