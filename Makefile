@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race check bench sweep examples clean
+.PHONY: all build test vet lint lint-json race check bench sweep examples clean
 
 all: check
 
@@ -12,9 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (determinism + concurrency invariants).
+# Project-specific static analysis: the typed whole-program engine
+# (cross-package RNG-escape, lock-scope, and artifact-taint dataflow; see
+# docs/ANALYSIS.md). `make lint-json` emits the byte-stable JSON report.
 lint:
 	$(GO) run ./cmd/nebula-lint ./...
+
+lint-json:
+	$(GO) run ./cmd/nebula-lint -json ./...
 
 race:
 	$(GO) test -race ./...

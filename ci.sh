@@ -14,14 +14,36 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== nebula-lint ./..."
-go run ./cmd/nebula-lint ./...
+echo "== nebula-lint ./... (typed whole-program engine)"
+linttmp=$(mktemp -d)
+go build -o "$linttmp/nebula-lint" ./cmd/nebula-lint
+# Findings gate the build; the clean run is then archived in both wire forms
+# (text + byte-stable JSON) as CI artifacts.
+artifact_dir="${CI_ARTIFACT_DIR:-$linttmp/artifacts}"
+mkdir -p "$artifact_dir"
+if ! "$linttmp/nebula-lint" ./... >"$artifact_dir/lint-report.txt" 2>&1; then
+    cat "$artifact_dir/lint-report.txt" >&2
+    echo "ci: nebula-lint found violations (report archived at $artifact_dir/lint-report.txt)" >&2
+    exit 1
+fi
+"$linttmp/nebula-lint" -json ./... >"$artifact_dir/lint-report.json"
 
-echo "== nebula-lint self-check (fixtures must trip every analyzer)"
-if go run ./cmd/nebula-lint -unscoped internal/lint/testdata >/dev/null 2>&1; then
+echo "== nebula-lint self-check (a fixture must trip every registered check)"
+# One unscoped run over the fixture tree (flat files + cross-package
+# mini-modules under xmod/), then every name `-list` reports — including the
+# loaderror and nolint pseudo-checks — must appear in the findings.
+if "$linttmp/nebula-lint" -unscoped -json internal/lint/testdata/... \
+    >"$linttmp/fixtures.json" 2>/dev/null; then
     echo "ci: nebula-lint exited 0 on its own fixtures — the analyzer is broken" >&2
     exit 1
 fi
+for c in $("$linttmp/nebula-lint" -list | awk '$1 != "scope:" {print $1}'); do
+    grep -q "\"check\": \"$c\"" "$linttmp/fixtures.json" || {
+        echo "ci: no fixture trips check '$c' — every registered check needs a tripping fixture" >&2
+        exit 1
+    }
+done
+rm -rf "$linttmp"
 
 echo "== go test -race (fed parallel determinism tests)"
 go test -race -run 'WorkersDifferential|ParticipantSets|ForEachDevice' ./internal/fed/

@@ -144,11 +144,20 @@ func (s *Server) Close() {
 			s.logf("listener close: %v", err)
 		}
 	}
+	// Snapshot the connection set under the lock and close outside it: Close
+	// on a hung peer can stall, and the connection handlers need s.mu to
+	// deregister themselves (closing under the lock is a lock-order inversion
+	// one slow socket away from deadlocking shutdown).
 	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	//nolint:maporder -- teardown set: close order is irrelevant and net.Conn keys have no order to sort by
 	for conn := range s.conns {
-		_ = conn.Close()
+		conns = append(conns, conn)
 	}
 	s.mu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -303,6 +312,14 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 			deduped, err = false, fmt.Errorf("malformed update: %v", r)
 		}
 	}()
+	// Dequantization is CPU-heavy and depends only on the request, so it
+	// happens before the lock: one large quantized update must not stall
+	// every other device behind s.mu (same shape as serveSubModel, which
+	// quantizes the response after releasing the lock).
+	vec := req.Backbone
+	if len(req.BackboneQ) > 0 {
+		vec = nn.DequantizeChunks(req.BackboneQ)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// At-most-once application: a retried PushUpdate carries the Seq of the
@@ -324,10 +341,6 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 		}
 	}
 	sub := s.Model.Extract(req.Active)
-	vec := req.Backbone
-	if len(req.BackboneQ) > 0 {
-		vec = nn.DequantizeChunks(req.BackboneQ)
-	}
 	if loadErr := safeLoad(sub, vec); loadErr != nil {
 		return false, loadErr
 	}

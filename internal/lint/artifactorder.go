@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ArtifactOrder flags map iteration whose body emits into an artifact sink:
+// a method on a trace/metrics/exposition type, a gob/json Encode, a write to
+// anything io.Writer-shaped, or an append to a slice that the same function
+// later hands to an encoder or wire send. Go randomizes map iteration order,
+// so any such loop makes trace logs, exposition bytes, or payloads differ
+// run to run — the property the `ci.sh` byte-compare gates exist to catch
+// dynamically.
+//
+// This is maporder's sink half, rebuilt on types instead of a name blanket:
+// the receiver's resolved type decides sink-ness (a method called Write on a
+// plain struct is not a finding; an Event on a *trace.Span is, from any
+// package), and the append rule fires only when the slice actually flows to
+// an encoder (taint), not on every append (which stays maporder's
+// structural rule). The sanctioned idiom is unchanged: collect the keys,
+// sort, range the sorted slice.
+type ArtifactOrder struct{}
+
+// Name implements Analyzer.
+func (ArtifactOrder) Name() string { return "artifactorder" }
+
+// Doc implements Analyzer.
+func (ArtifactOrder) Doc() string {
+	return "map iteration emitting into a typed artifact sink (trace/metrics/encoder/io.Writer, or a slice that flows to one)"
+}
+
+// DefaultPaths implements Analyzer: artifact byte-stability is a whole-tree
+// contract.
+func (ArtifactOrder) DefaultPaths() []string { return nil }
+
+// sinkPkgSuffixes are the project packages whose types are artifact sinks:
+// calling any recording method on them in random order reorders artifacts.
+var sinkPkgSuffixes = []string{"internal/trace", "internal/obs", "internal/metrics"}
+
+// encoderCallNames is the syntactic fallback for sink calls when the callee
+// cannot be resolved (degraded type info): serialization and formatted
+// output names.
+var encoderCallNames = map[string]bool{
+	"Encode": true, "Send": true, "Marshal": true,
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Printf": true, "Println": true, "Print": true,
+}
+
+// Check implements Analyzer.
+func (ArtifactOrder) Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		var body ast.Node
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return true
+			}
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		sorted := sortedVars(body)
+		tainted := encoderFedObjects(f, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapExpr(f, rng.X) || isKeyCollect(rng, sorted) {
+				return true
+			}
+			if why := sinkInBody(f, rng, tainted); why != "" {
+				out = append(out, Diagnostic{
+					Pos:   f.Fset.Position(rng.Pos()),
+					Check: "artifactorder",
+					Message: fmt.Sprintf(
+						"iteration over map %s %s; map order is random, so artifact bytes differ run to run — collect and sort the keys first",
+						types.ExprString(rng.X), why),
+				})
+			}
+			return true
+		})
+		// Nested literals are revisited by the outer Inspect.
+		return false
+	})
+	return out
+}
+
+// encoderFedObjects collects the objects of variables that body passes to an
+// encoder/send call: appending to one of these inside a map loop records
+// iteration order in the artifact.
+func encoderFedObjects(f *File, body ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isEncoderCall(f, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			root := rootIdent(arg)
+			if root == nil {
+				continue
+			}
+			if obj := f.ObjectOf(root); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isEncoderCall reports whether call serializes its arguments: a gob/json
+// Encode/Marshal, or (fallback when unresolvable) a known encoder name.
+func isEncoderCall(f *File, call *ast.CallExpr) bool {
+	if fn := f.CalleeFunc(call); fn != nil {
+		if rt := recvType(fn); rt != nil {
+			pkg := typePkgPath(rt)
+			if (pkg == "encoding/gob" || pkg == "encoding/json") && fn.Name() == "Encode" {
+				return true
+			}
+			// Project wire calls: a Send on any type that owns an encoder
+			// resolves through seedBlocking's territory; keep the name rule
+			// for methods, but only on resolvable project types.
+			if fn.Name() == "Send" {
+				return true
+			}
+			return false
+		}
+		pkg := funcPkgPath(fn)
+		if (pkg == "encoding/json" || pkg == "encoding/gob") && fn.Name() == "Marshal" {
+			return true
+		}
+		return false
+	}
+	return encoderCallNames[calleeName(call)]
+}
+
+// sinkInBody returns a reason when the loop body emits into a sink, or "".
+func sinkInBody(f *File, rng *ast.RangeStmt, tainted map[types.Object]bool) string {
+	var why string
+	set := func(reason string) {
+		if why == "" {
+			why = reason
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if reason := sinkCall(f, v); reason != "" {
+				set(reason)
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x flows to an encoder later.
+			for i, rhs := range v.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" || i >= len(v.Lhs) {
+					continue
+				}
+				root := rootIdent(v.Lhs[i])
+				if root == nil {
+					continue
+				}
+				if obj := f.ObjectOf(root); obj != nil && tainted[obj] {
+					set(fmt.Sprintf("appends to %s, which this function encodes onto the wire", root.Name))
+				}
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+// sinkCall classifies one call inside a map loop as an artifact emission.
+func sinkCall(f *File, call *ast.CallExpr) string {
+	fn := f.CalleeFunc(call)
+	if fn == nil {
+		// Degraded type info: fall back to the historic name blanket, but
+		// only for selector calls (pkg.Fprintf, enc.Encode) so plain local
+		// helpers stay quiet.
+		if _, ok := call.Fun.(*ast.SelectorExpr); ok && encoderCallNames[calleeName(call)] {
+			return fmt.Sprintf("calls %s (unresolved; name-matched encoder)", calleeName(call))
+		}
+		return ""
+	}
+	if rt := recvType(fn); rt != nil {
+		if pkg := typePkgPath(rt); pkg != "" {
+			for _, suffix := range sinkPkgSuffixes {
+				if pkgPathHasSuffix(pkg, suffix) && recordingMethod(fn.Name()) {
+					return fmt.Sprintf("records into %s.%s (%s sink)", namedOf(rt).Obj().Name(), fn.Name(), suffix)
+				}
+			}
+			if (pkg == "encoding/gob" || pkg == "encoding/json") && fn.Name() == "Encode" {
+				return fmt.Sprintf("encodes via %s", pkg)
+			}
+		}
+		if implementsWriter(rt) && recordingMethod(fn.Name()) {
+			return fmt.Sprintf("writes through io.Writer-shaped %s.%s", types.ExprString(call.Fun), fn.Name())
+		}
+		return ""
+	}
+	if pkg := funcPkgPath(fn); pkg == "fmt" &&
+		(fn.Name() == "Fprintf" || fn.Name() == "Fprintln" || fn.Name() == "Fprint") {
+		return "formats onto a writer via fmt." + fn.Name()
+	}
+	return ""
+}
+
+// recordingMethod reports whether a method name mutates/records rather than
+// reads — only recording calls on a sink type are order-sensitive (Value()
+// on a counter inside a map loop is fine; Inc() is not).
+func recordingMethod(name string) bool {
+	switch name {
+	case "Event", "Emit", "Record", "Log", "Append", "Add", "Inc",
+		"Set", "Observe", "ObserveSince", "Flush", "Encode", "Send":
+		return true
+	}
+	return len(name) >= 5 && (name[:5] == "Write" || name[:5] == "Print")
+}
+
+func pkgPathHasSuffix(pkg, suffix string) bool {
+	return pkg == suffix || len(pkg) > len(suffix) && pkg[len(pkg)-len(suffix)-1] == '/' &&
+		pkg[len(pkg)-len(suffix):] == suffix
+}

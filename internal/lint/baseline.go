@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline support: known findings can be parked in a text file and filtered
+// out of subsequent runs while they are burned down. An entry is the
+// diagnostic's Key — file, check, and message, but NOT the line number, so
+// unrelated edits that shift code up or down do not invalidate the baseline.
+// Any edit that changes the finding itself (or fixes it) changes or removes
+// the key, which is the point: a stale baseline entry is harmless, a new
+// finding is never masked by an old one.
+
+// Key is the line-insensitive identity of a diagnostic, used for baseline
+// matching: `file: [check] message`.
+func (d Diagnostic) Key() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos.Filename, d.Check, d.Message)
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline: one Key per
+// line, '#' comments and blank lines ignored. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, sc.Err()
+}
+
+// WriteBaseline writes the diagnostics' keys, deduplicated and sorted, with a
+// short header explaining the file's contract.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	seen := map[string]bool{}
+	var keys []string
+	for _, d := range diags {
+		if k := d.Key(); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# nebula-lint baseline: known findings parked for burn-down.\n")
+	b.WriteString("# One `file: [check] message` key per line (line numbers excluded\n")
+	b.WriteString("# so unrelated edits don't invalidate entries). Regenerate with\n")
+	b.WriteString("# `nebula-lint -write-baseline <path>`; shrink it, never grow it.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// FilterBaseline splits diags into findings not covered by the baseline and
+// the number it suppressed.
+func FilterBaseline(diags []Diagnostic, baseline map[string]bool) (fresh []Diagnostic, suppressed int) {
+	for _, d := range diags {
+		if baseline[d.Key()] {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the dataflow vocabulary the typed checks share: deciding
+// whether an identifier inside a closure is free (captured from the enclosing
+// function), walking expressions in value position, classifying RNG and
+// sink types, and resolving call chains through the program's declaration
+// index.
+
+// isFreeIn reports whether obj is captured by the function literal lit —
+// i.e. declared outside lit's source range. Objects without position
+// (builtins, package names, nil) are never "free" in the capture sense.
+func isFreeIn(obj types.Object, lit *ast.FuncLit) bool {
+	if obj == nil || obj.Pos() == 0 {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// funcLitArgs returns the function-literal arguments of a call (worker
+// bodies, per-worker state constructors).
+func funcLitArgs(call *ast.CallExpr) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	for _, arg := range call.Args {
+		if fn, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// valueExprs walks n and visits expressions used in value position:
+// identifiers and selector expressions. Selector field names are visited as
+// part of the whole selector (x.rng is one captured value, not a free `rng`);
+// struct-literal keys are skipped. The visitor returns false to also skip
+// the subtree (used when it has fully handled a selector chain).
+func valueExprs(n ast.Node, visit func(e ast.Expr) bool) {
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if !visit(v) {
+				return false
+			}
+			ast.Inspect(v.X, walk)
+			return false
+		case *ast.KeyValueExpr:
+			ast.Inspect(v.Value, walk)
+			return false
+		case *ast.Ident:
+			visit(v)
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (s.cfg.rng → s; streams[i] → streams), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isRNGType reports whether t is a master-RNG stream type: *rand.Rand
+// (math/rand or math/rand/v2) or a pointer to any named type called RNG (the
+// project stream type tensor.RNG, and equivalents in fixture modules).
+func isRNGType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	if name == "RNG" {
+		return true
+	}
+	if name == "Rand" {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2"
+		}
+	}
+	return false
+}
+
+// namedOf unwraps pointers and returns the named type underneath, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typePkgPath returns the import path of the package declaring t's named
+// type (through pointers), or "".
+func typePkgPath(t types.Type) string {
+	named := namedOf(t)
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// recvType returns the receiver type of a method object, or nil for plain
+// functions.
+func recvType(fn *types.Func) types.Type {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// funcPkgPath returns the import path of the package declaring fn, or "".
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// implementsWriter reports whether t (or *t) has a Write([]byte) (int, error)
+// method — the structural io.Writer contract, checked without needing the io
+// package object so it works on fixture-module types too.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	check := func(t types.Type) bool {
+		ms := types.NewMethodSet(t)
+		sel := ms.Lookup(nil, "Write")
+		if sel == nil {
+			return false
+		}
+		sig, ok := sel.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			return false
+		}
+		slice, ok := sig.Params().At(0).Type().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := slice.Elem().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	if check(t) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return check(types.NewPointer(t))
+	}
+	return false
+}

@@ -1,23 +1,29 @@
 // Package lint is nebula-lint's engine: a stdlib-only static analyzer that
 // enforces the project invariants the Go compiler cannot check —
 // deterministic aggregation order, leak-free goroutine fan-out, error-checked
-// protocol I/O, lock-safe struct handling, and config-seeded randomness.
+// protocol I/O, lock-safe struct handling, config-seeded randomness, and the
+// coordinator/worker/reduce contract of the parallel round executor.
 //
-// The engine parses every package under the requested roots with go/parser,
-// runs a best-effort go/types pass (imports are stubbed, so cross-package
-// types degrade gracefully to syntactic fallbacks), and hands each file to a
-// set of Analyzers. Diagnostics can be suppressed with a trailing or
-// preceding `//nolint:check -- reason` comment; a nolint directive without a
-// justification is itself a diagnostic.
+// The engine is whole-program and fully type-checked: Load (program.go)
+// discovers the enclosing module, parses every package under the requested
+// roots, pulls module-local dependencies in on demand, and type-checks the
+// lot in dependency order through a real file-system importer (stdlib
+// resolves from GOROOT sources). Checks therefore see cross-package types —
+// what type a closure captures, which method a call resolves to, whether a
+// callee three packages away can block — and can walk into callee bodies via
+// the program's declaration index.
+//
+// Diagnostics can be suppressed with a trailing or preceding
+// `//nolint:check -- reason` comment; a nolint directive without a
+// justification is itself a diagnostic. Known findings can be parked in a
+// baseline file (baseline.go) while they are burned down.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"go/types"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -44,22 +50,46 @@ type File struct {
 }
 
 // Package groups the files of one directory (split by package clause) with
-// best-effort type information.
+// the type information produced by the whole-program load.
 type Package struct {
-	Dir   string
-	Name  string
-	Files []*File
-	// Info holds whatever the type checker could resolve. Imported types
-	// degrade to invalid; checks must tolerate missing entries.
+	Dir  string
+	Name string
+	// PkgPath is the import path within the enclosing module.
+	PkgPath string
+	Files   []*File
+	// Info holds the type-checker's results. Whole-program loading resolves
+	// cross-package types for real; entries can still be missing for code
+	// inside import cycles or next to parse errors, so checks must tolerate
+	// nil objects and types.
 	Info *types.Info
+	// Types is the checked package object (receiver of Scope lookups).
+	Types *types.Package
+	// LoadErrs are loader diagnostics (parse failures, import cycles)
+	// reported under the "loaderror" pseudo-check.
+	LoadErrs []Diagnostic
+	// Prog is the whole program this package was loaded into.
+	Prog *Program
+
+	state pkgState
 }
 
-// TypeOf returns the best-effort type of e, or nil when unresolved.
+// TypeOf returns the type of e, or nil when unresolved.
 func (f *File) TypeOf(e ast.Expr) types.Type {
 	if f.Pkg == nil || f.Pkg.Info == nil {
 		return nil
 	}
 	return f.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to the object it uses or defines, or nil.
+func (f *File) ObjectOf(id *ast.Ident) types.Object {
+	if f.Pkg == nil || f.Pkg.Info == nil {
+		return nil
+	}
+	if obj := f.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return f.Pkg.Info.Defs[id]
 }
 
 // Analyzer is one project-specific check.
@@ -84,8 +114,20 @@ func All() []Analyzer {
 		MutexCopy{},
 		SeedRand{},
 		HotAlloc{},
-		SharedRNG{},
 		RawClock{},
+		RNGEscape{},
+		LockedCall{},
+		ArtifactOrder{},
+	}
+}
+
+// PseudoChecks are diagnostic sources that are not Analyzers: the loader's
+// error channel and the nolint-justification enforcement. They participate in
+// -list, -checks, and the fixture self-check like real checks.
+func PseudoChecks() []struct{ Name, Doc string } {
+	return []struct{ Name, Doc string }{
+		{LoadErrorCheck, "package failed to load cleanly: parse error or module-local import cycle"},
+		{"nolint", "//nolint directive without a `-- reason` justification"},
 	}
 }
 
@@ -99,15 +141,14 @@ type Runner struct {
 
 // Run lints every file of every package and returns diagnostics sorted by
 // file, line, and check. Unjustified //nolint directives are reported under
-// the pseudo-check "nolint".
+// the pseudo-check "nolint"; loader problems under "loaderror".
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
+		out = append(out, pkg.LoadErrs...)
 		for _, f := range pkg.Files {
 			sup := collectNolint(f)
-			for _, d := range sup.unjustified {
-				out = append(out, d)
-			}
+			out = append(out, sup.unjustified...)
 			for _, a := range r.Analyzers {
 				if !r.Unscoped && !pathInScope(f.Path, a.DefaultPaths()) {
 					continue
@@ -128,7 +169,10 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		if out[i].Pos.Line != out[j].Pos.Line {
 			return out[i].Pos.Line < out[j].Pos.Line
 		}
-		return out[i].Check < out[j].Check
+		if out[i].Check != out[j].Check {
+			return out[i].Check < out[j].Check
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out
 }
@@ -208,170 +252,4 @@ func collectNolint(f *File) *nolintSet {
 		}
 	}
 	return s
-}
-
-// Load discovers and parses packages under the given roots. A root ending in
-// "/..." is walked recursively; testdata, vendor, and hidden directories are
-// skipped during the walk (a testdata directory can still be linted by
-// naming it explicitly). Files are grouped into packages by package clause
-// and type-checked best-effort.
-func Load(roots []string) ([]*Package, error) {
-	dirs, err := expandRoots(roots)
-	if err != nil {
-		return nil, err
-	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		ps, err := loadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, ps...)
-	}
-	return pkgs, nil
-}
-
-func expandRoots(roots []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(dir string) {
-		if !seen[dir] {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
-	}
-	for _, root := range roots {
-		recursive := false
-		if strings.HasSuffix(root, "...") {
-			recursive = true
-			root = strings.TrimSuffix(root, "...")
-			root = strings.TrimSuffix(root, string(filepath.Separator))
-			root = strings.TrimSuffix(root, "/")
-			if root == "" || root == "." {
-				root = "."
-			}
-		}
-		info, err := os.Stat(root)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
-		}
-		if !info.IsDir() {
-			return nil, fmt.Errorf("lint: %s is not a directory", root)
-		}
-		if !recursive {
-			add(root)
-			continue
-		}
-		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-				name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			if hasGoFiles(path) {
-				add(path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("lint: walk %s: %w", root, err)
-		}
-	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-func hasGoFiles(dir string) bool {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false
-	}
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			return true
-		}
-	}
-	return false
-}
-
-// loadDir parses every .go file in dir and groups the results by package
-// clause (a directory can legally hold pkg and pkg_test).
-func loadDir(dir string) ([]*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
-	}
-	fset := token.NewFileSet()
-	byName := map[string]*Package{}
-	var order []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		astf, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
-		}
-		name := astf.Name.Name
-		pkg, ok := byName[name]
-		if !ok {
-			pkg = &Package{Dir: dir, Name: name}
-			byName[name] = pkg
-			order = append(order, name)
-		}
-		pkg.Files = append(pkg.Files, &File{Path: path, Fset: fset, AST: astf, Pkg: pkg})
-	}
-	var pkgs []*Package
-	for _, name := range order {
-		pkg := byName[name]
-		pkg.Info = typeCheck(fset, pkg)
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
-}
-
-// typeCheck runs go/types over the package with stubbed imports, keeping
-// whatever partial information survives. Errors are expected (imported
-// symbols are unresolvable) and ignored; checks fall back to syntax when an
-// expression's type is missing.
-func typeCheck(fset *token.FileSet, pkg *Package) *types.Info {
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
-	}
-	conf := types.Config{
-		Error:    func(error) {},
-		Importer: stubImporter{},
-	}
-	files := make([]*ast.File, len(pkg.Files))
-	for i, f := range pkg.Files {
-		files[i] = f.AST
-	}
-	// Check always reports errors here (stubbed imports); the partial Info
-	// is still useful, so the returned error is deliberately dropped.
-	_, _ = conf.Check(pkg.Dir, fset, files, info) //nolint:errdrop -- partial type info is the point; import errors are expected
-	return info
-}
-
-// stubImporter satisfies go/types without resolving real packages: every
-// import becomes an empty placeholder, so cross-package expressions type as
-// invalid while package-local types resolve fully.
-type stubImporter struct{}
-
-func (stubImporter) Import(path string) (*types.Package, error) {
-	base := path
-	if i := strings.LastIndex(path, "/"); i >= 0 {
-		base = path[i+1:]
-	}
-	p := types.NewPackage(path, base)
-	p.MarkComplete()
-	return p, nil
 }

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,9 +44,11 @@ func TestFixtures(t *testing.T) {
 		"errdrop.go":    {"errdrop"},
 		"mutexcopy.go":  {"mutexcopy"},
 		"seedrand.go":   {"seedrand"},
-		"hotalloc.go":   {"hotalloc"},
-		"sharedrng.go":  {"sharedrng"},
-		"rawclock.go":   {"rawclock", "rawclock"},
+		"hotalloc.go":      {"hotalloc"},
+		"rngescape.go":     {"rngescape"},
+		"lockedcall.go":    {"lockedcall"},
+		"artifactorder.go": {"artifactorder"},
+		"rawclock.go":      {"rawclock", "rawclock"},
 		"clean.go":      nil,
 		"suppressed.go": nil,
 		"nolintbare.go": {"nolint"},
@@ -153,6 +156,152 @@ func TestNolintGrammar(t *testing.T) {
 			}
 		})
 	}
+}
+
+// runXmod loads one cross-package mini-module fixture recursively and lints
+// it unscoped, returning diagnostics grouped by check name.
+func runXmod(t *testing.T, sub string) map[string][]Diagnostic {
+	t.Helper()
+	pkgs, err := Load([]string{filepath.Join("testdata", "xmod", sub) + "/..."})
+	if err != nil {
+		t.Fatalf("Load(xmod/%s): %v", sub, err)
+	}
+	r := &Runner{Analyzers: All(), Unscoped: true}
+	byCheck := map[string][]Diagnostic{}
+	for _, d := range r.Run(pkgs) {
+		byCheck[d.Check] = append(byCheck[d.Check], d)
+	}
+	return byCheck
+}
+
+// TestCrossPackageRNGEscape: the captured stream's type (*pool.RNG) is
+// declared one import edge away from the capture site; the pre-split
+// variant in the same file must stay quiet.
+func TestCrossPackageRNGEscape(t *testing.T) {
+	byCheck := runXmod(t, "rngescape")
+	got := byCheck["rngescape"]
+	if len(got) != 1 {
+		t.Fatalf("rngescape findings = %v, want exactly 1 (escape flagged, split variant quiet)", got)
+	}
+	if base := filepath.Base(got[0].Pos.Filename); base != "round.go" {
+		t.Errorf("finding in %s, want round.go: %s", base, got[0])
+	}
+}
+
+// TestCrossPackageLockedCall: the flagged call blocks only transitively —
+// srv.Broadcast → wire.Send → gob.Encode, across two package boundaries —
+// and the diagnostic names the resolved chain. The snapshot-then-send
+// variant must stay quiet.
+func TestCrossPackageLockedCall(t *testing.T) {
+	byCheck := runXmod(t, "lockedcall")
+	got := byCheck["lockedcall"]
+	if len(got) != 1 {
+		t.Fatalf("lockedcall findings = %v, want exactly 1", got)
+	}
+	if base := filepath.Base(got[0].Pos.Filename); base != "srv.go" {
+		t.Errorf("finding in %s, want srv.go: %s", base, got[0])
+	}
+	if !strings.Contains(got[0].Message, "gob") {
+		t.Errorf("diagnostic does not name the transitive gob chain: %s", got[0])
+	}
+}
+
+// TestCrossPackageArtifactOrder: the sink type (*trace.Span, import path
+// suffix internal/trace) is resolved across the import edge; the sorted
+// variant and its read-only Len call must stay quiet.
+func TestCrossPackageArtifactOrder(t *testing.T) {
+	byCheck := runXmod(t, "artifactorder")
+	got := byCheck["artifactorder"]
+	if len(got) != 1 {
+		t.Fatalf("artifactorder findings = %v, want exactly 1", got)
+	}
+	if base := filepath.Base(got[0].Pos.Filename); base != "emit.go" {
+		t.Errorf("finding in %s, want emit.go: %s", base, got[0])
+	}
+}
+
+// TestImportCycleDiagnostic: a module-local import cycle must surface as a
+// loaderror diagnostic — not a panic, not an infinite loop — and the cycle
+// members must still be checked best-effort.
+func TestImportCycleDiagnostic(t *testing.T) {
+	byCheck := runXmod(t, "cycle")
+	got := byCheck[LoadErrorCheck]
+	if len(got) == 0 {
+		t.Fatal("import cycle produced no loaderror diagnostic")
+	}
+	for _, d := range got {
+		if !strings.Contains(d.Message, "cycle") {
+			t.Errorf("loaderror does not mention the cycle: %s", d)
+		}
+	}
+}
+
+// TestBrokenDependencyDiagnostic: a syntax-broken dependency must surface as
+// a loaderror positioned in the broken file, while the importing package
+// still loads and checks.
+func TestBrokenDependencyDiagnostic(t *testing.T) {
+	pkgs, err := Load([]string{filepath.Join("testdata", "xmod", "broken") + "/..."})
+	if err != nil {
+		t.Fatalf("Load(xmod/broken): %v", err)
+	}
+	var sawApp bool
+	for _, pkg := range pkgs {
+		if pkg.Name == "app" {
+			sawApp = true
+			if pkg.Info == nil {
+				t.Error("app package has no type info despite broken dependency")
+			}
+		}
+	}
+	if !sawApp {
+		t.Fatal("importing package app did not load")
+	}
+	r := &Runner{Analyzers: All(), Unscoped: true}
+	var sawParse bool
+	for _, d := range r.Run(pkgs) {
+		if d.Check == LoadErrorCheck && filepath.Base(d.Pos.Filename) == "dep.go" {
+			sawParse = true
+		}
+	}
+	if !sawParse {
+		t.Error("syntax-broken dep.go produced no loaderror diagnostic")
+	}
+}
+
+// TestBaselineRoundTrip: keys are line-insensitive, the file round-trips,
+// and filtering suppresses exactly the baselined findings.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: tokenPosition("a.go", 10), Check: "maporder", Message: "m one"},
+		{Pos: tokenPosition("b.go", 20), Check: "lockedcall", Message: "m two"},
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	// Same finding on a different line is still baselined; a new message is
+	// not.
+	moved := Diagnostic{Pos: tokenPosition("a.go", 99), Check: "maporder", Message: "m one"}
+	novel := Diagnostic{Pos: tokenPosition("a.go", 10), Check: "maporder", Message: "m three"}
+	fresh, suppressed := FilterBaseline([]Diagnostic{moved, novel}, base)
+	if suppressed != 1 || len(fresh) != 1 || fresh[0].Message != "m three" {
+		t.Errorf("FilterBaseline = fresh %v suppressed %d, want only the novel finding fresh", fresh, suppressed)
+	}
+	// Missing baseline file is empty, not an error.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || len(empty) != 0 {
+		t.Errorf("LoadBaseline(absent) = %v, %v; want empty, nil", empty, err)
+	}
+}
+
+func tokenPosition(file string, line int) (p token.Position) {
+	p.Filename = file
+	p.Line = line
+	return p
 }
 
 // parseSource loads a single in-memory file through the same pipeline as

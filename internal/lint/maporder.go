@@ -9,12 +9,14 @@ import (
 )
 
 // MapOrder flags `for k := range m` over maps whose loop body has
-// order-dependent effects: appending to slices, writing through indices of
-// outer containers, sending on channels, accumulating floats, or emitting
-// serialized/protocol output. Go randomizes map iteration order, so any such
-// loop makes aggregation buffers, parameter vectors, or wire payloads
-// nondeterministic across runs — the canonical fix is to collect the keys,
-// sort them, and range over the sorted slice.
+// structurally order-dependent effects: appending to slices, writing through
+// indices of outer containers, sending on channels, or accumulating floats.
+// Go randomizes map iteration order, so any such loop makes aggregation
+// buffers or parameter vectors nondeterministic across runs — the canonical
+// fix is to collect the keys, sort them, and range over the sorted slice.
+// Emission into serialization/trace/exposition sinks is the typed
+// ArtifactOrder check's job (sink-taint on resolved types rather than a name
+// blanket).
 type MapOrder struct{}
 
 // Name implements Analyzer.
@@ -176,15 +178,6 @@ func isMapSyntax(e ast.Expr, depth int) bool {
 	return false
 }
 
-// orderSensitiveSinks are call names whose effects depend on invocation
-// order: serialization, protocol writes, and formatted output.
-var orderSensitiveSinks = map[string]bool{
-	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
-	"Encode": true, "Send": true, "Append": true, "AppendFloat": true,
-	"Fprintf": true, "Fprintln": true, "Fprint": true,
-	"Printf": true, "Println": true, "Print": true,
-}
-
 // orderSensitive inspects the loop body and returns a short reason when the
 // body's effects depend on iteration order, or "" when the loop is safe
 // (pure reads, writes confined to the ranged map itself, or commutative
@@ -204,11 +197,8 @@ func orderSensitive(f *File, rng *ast.RangeStmt) string {
 		case *ast.SendStmt:
 			set("sends on a channel")
 		case *ast.CallExpr:
-			name := calleeName(v)
-			if name == "append" {
+			if calleeName(v) == "append" {
 				set("appends to a slice")
-			} else if orderSensitiveSinks[name] {
-				set(fmt.Sprintf("calls order-sensitive sink %s", name))
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range v.Lhs {

@@ -1,0 +1,28 @@
+package fixtures
+
+import "sync"
+
+// lockedcall: a blocking write on a conn-shaped value while the mutex is
+// held serializes every goroutine behind one slow peer — exactly one
+// finding, on the Write call below. The fake conn is conn-shaped
+// (Read/Write/SetReadDeadline) so the check classifies it without importing
+// package net; errors are explicitly assigned so errdrop stays quiet.
+
+type fakeConn struct{ sent int }
+
+func (c *fakeConn) Read(p []byte) (int, error)    { return 0, nil }
+func (c *fakeConn) Write(p []byte) (int, error)   { c.sent += len(p); return len(p), nil }
+func (c *fakeConn) SetReadDeadline(s string) error { return nil }
+
+type lockedSender struct {
+	mu   sync.Mutex
+	conn *fakeConn
+	seq  int
+}
+
+func (s *lockedSender) push(frame []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	_, _ = s.conn.Write(frame) // want: network write inside the critical section
+}

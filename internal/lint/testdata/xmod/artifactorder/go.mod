@@ -1,0 +1,3 @@
+module xmodart
+
+go 1.21

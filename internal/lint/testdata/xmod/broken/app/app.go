@@ -1,0 +1,9 @@
+// Package app imports the syntax-broken dep: its own checking proceeds with
+// whatever type information survives.
+package app
+
+import "xmodbroken/dep"
+
+func Double() int {
+	return dep.Answer() * 2
+}

@@ -1,0 +1,11 @@
+// Package dep contains a syntax error. The loader must surface it as a
+// loaderror diagnostic and keep checking the importing package best-effort.
+package dep
+
+func Answer() int {
+	return 42
+}
+
+func Broken( {
+	missing closing paren above; this body never parses
+}

@@ -1,0 +1,3 @@
+module xmodbroken
+
+go 1.21

@@ -1,0 +1,12 @@
+// Package a half of an import cycle: a → b → a. The loader must report a
+// loaderror diagnostic and keep checking, never panic or loop.
+package a
+
+import "xmodcycle/b"
+
+func Ping(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return b.Pong(n - 1)
+}

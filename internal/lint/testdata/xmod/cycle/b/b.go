@@ -1,0 +1,11 @@
+// Package b closes the import cycle back to a.
+package b
+
+import "xmodcycle/a"
+
+func Pong(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return a.Ping(n - 1)
+}

@@ -1,0 +1,3 @@
+module xmodcycle
+
+go 1.21

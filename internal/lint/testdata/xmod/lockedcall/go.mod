@@ -1,0 +1,3 @@
+module xmodlock
+
+go 1.21

@@ -1,0 +1,41 @@
+// Package srv holds the mini-module's critical-section bug: Broadcast sends
+// on the wire while holding the registry mutex. The call itself
+// (codec.Send) looks innocent; it blocks because Send's body reaches
+// (*gob.Encoder).Encode two packages away — the finding only exists if the
+// engine walks the callee chain transitively. Exactly one lockedcall
+// finding, plus a clean snapshot-then-send variant.
+package srv
+
+import (
+	"sync"
+
+	"xmodlock/wire"
+)
+
+type Server struct {
+	mu     sync.Mutex
+	peers  []*wire.Codec
+	rounds int
+}
+
+func (s *Server) Broadcast(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rounds++
+	for _, c := range s.peers {
+		_ = c.Send(v) // want: gob encode under s.mu, resolved through wire.Send
+	}
+}
+
+// BroadcastSnapshot is the sanctioned serveSubModel shape: copy the peer
+// list under the lock, do the slow sends outside. No finding.
+func (s *Server) BroadcastSnapshot(v any) {
+	s.mu.Lock()
+	peers := make([]*wire.Codec, len(s.peers))
+	copy(peers, s.peers)
+	s.rounds++
+	s.mu.Unlock()
+	for _, c := range peers {
+		_ = c.Send(v)
+	}
+}

@@ -1,0 +1,3 @@
+module xmodrng
+
+go 1.21

@@ -1,0 +1,24 @@
+// Package pool is the mini-module's stand-in for tensor: it owns the RNG
+// stream type and the parallel executor. The round package (a different
+// package!) captures a *pool.RNG in a worker body — the finding only exists
+// if the engine resolves the type across the package boundary.
+package pool
+
+type RNG struct{ state uint64 }
+
+func (r *RNG) Float64() float64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11) / (1 << 53)
+}
+
+// Split derives an independent child stream (the sanctioned pattern).
+func (r *RNG) Split() *RNG {
+	r.state++
+	return &RNG{state: r.state * 2685821657736338717}
+}
+
+func ParallelFor(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,26 @@
+// Package round captures a master stream typed in ANOTHER package
+// (*pool.RNG) inside a parallel worker body. The old name-based check could
+// not see this: the variable is not called "rng" and the type lives across
+// an import edge. Exactly one rngescape finding, plus a clean sanctioned
+// variant that must stay quiet.
+package round
+
+import "xmodrng/pool"
+
+func Noise(out []float64, master *pool.RNG) {
+	pool.ParallelFor(len(out), func(i int) {
+		out[i] = master.Float64() // want: cross-package stream escape
+	})
+}
+
+// NoiseSplit is the sanctioned shape: pre-split per-index streams in the
+// coordinator, index by worker id. No finding.
+func NoiseSplit(out []float64, master *pool.RNG) {
+	streams := make([]*pool.RNG, len(out))
+	for i := range streams {
+		streams[i] = master.Split()
+	}
+	pool.ParallelFor(len(out), func(i int) {
+		out[i] = streams[i].Float64()
+	})
+}

@@ -1,0 +1,64 @@
+package modular
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestBackwardParallelismInvariant pins the scheduling-independence of
+// ModuleLayer.Backward. A sample routed to k modules receives k input-gradient
+// contributions; with k ≥ 3 the floating-point sum depends on the order the
+// contributions are applied, so the reduction must run in module order rather
+// than module-completion order. The regression this guards: dx was accumulated
+// under a mutex as each parallel module backward finished, which made every
+// gradient downstream of a module layer (stem, selector) vary run-to-run for
+// Parallelism ≥ 2 — race-free, serially deterministic, and invisible to the
+// race detector.
+func TestBackwardParallelismInvariant(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	cfg := smallCfg()
+	cfg.TopK = 4 // 4 contributions per dx row: enough for order to matter
+	m := NewModularMLP(rng, 8, 96, 5, cfg)
+	m.Selector.NoiseStd = 0 // routing must be a pure function of the input
+	x := tensor.New(32, 8)
+	rng.FillNormal(x, 0, 1)
+	dLogits := tensor.New(32, 5)
+	rng.FillNormal(dLogits, 0, 1)
+
+	params := m.Params()
+	runOnce := func() []float32 {
+		for _, p := range params {
+			for i := range p.G.Data {
+				p.G.Data[i] = 0
+			}
+		}
+		m.Forward(x, nil, true)
+		m.Backward(dLogits, 0)
+		var out []float32
+		for _, p := range params {
+			out = append(out, p.G.Data...)
+		}
+		return out
+	}
+
+	old := tensor.Parallelism
+	defer func() { tensor.Parallelism = old }()
+
+	tensor.Parallelism = 1
+	ref := runOnce()
+
+	tensor.Parallelism = 4
+	for trial := 0; trial < 100; trial++ {
+		got := runOnce()
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d gradient elements, want %d", trial, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: grad[%d] = %v parallel vs %v serial — module-order reduction broken",
+					trial, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -11,7 +11,6 @@ package modular
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -164,7 +163,14 @@ func (ml *ModuleLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, [][]float32)
 	sampleLen := dx.Len() / batch
 	outLen := dy.Len() / batch
 
-	var mu sync.Mutex
+	// A sample routed to k modules receives k input-gradient contributions.
+	// Summing them as modules finish would make dx depend on scheduling
+	// (float addition is not associative), so the parallel phase only stages
+	// each module's dsub; the reduction below runs in ascending module order —
+	// the same order the serial path produces, keeping dx bitwise stable for
+	// any Parallelism. dsub tensors are module-owned and stay valid until
+	// that module's next Backward, so staging holds references, not copies.
+	dsubs := make([]*tensor.Tensor, n)
 	tensor.ParallelForAtomic(n, func(i int) {
 		if len(ml.routes[i]) == 0 {
 			return
@@ -184,16 +190,21 @@ func (ml *ModuleLayer) Backward(dy *tensor.Tensor) (*tensor.Tensor, [][]float32)
 			}
 			localGateGrad[j] = tensor.Dot(outRow, dyRow)
 		}
-		dsub := ml.Modules[i].Backward(sub)
-		mu.Lock()
 		for j, b := range rows {
-			gateGrads[b][i] = float32(localGateGrad[j])
-			src := dsub.Data[j*sampleLen : (j+1)*sampleLen]
+			gateGrads[b][i] = float32(localGateGrad[j]) // (b,i) slots are disjoint across workers
+		}
+		dsubs[i] = ml.Modules[i].Backward(sub)
+	})
+	for i := 0; i < n; i++ {
+		if dsubs[i] == nil {
+			continue
+		}
+		for j, b := range ml.routes[i] {
+			src := dsubs[i].Data[j*sampleLen : (j+1)*sampleLen]
 			dst := dx.Data[b*sampleLen : (b+1)*sampleLen]
 			tensor.Axpy(1, src, dst)
 		}
-		mu.Unlock()
-	})
+	}
 	return dx, gateGrads
 }
 
