@@ -72,6 +72,37 @@ cmp "$difftmp/w1.jsonl" "$difftmp/w4.jsonl" || {
 go run ./cmd/nebula-trace "$difftmp/w1.jsonl" >/dev/null
 rm -rf "$difftmp"
 
+echo "== semi-async gate (straggler experiment: latency win at equal accuracy; async artifacts identical for -workers 1 vs 4)"
+asynctmp=$(mktemp -d)
+# The straggler experiment runs bulk-sync and semi-async on one seeded
+# dynamic fleet (churn + pinned stragglers) and prints a machine-checkable
+# verdict line; only the async run writes the trace, so the byte-diff below
+# exercises the deadline/staleness/churn code paths (docs/ASYNC.md).
+for w in 1 4; do
+    go run ./cmd/nebula-sim -exp straggler -devices 6 -proxy 8 -steps 3 \
+        -pretrain-epochs 1 -finetune-epochs 1 -local-epochs 1 -seed 5 \
+        -workers "$w" -trace "$asynctmp/w$w.jsonl" >"$asynctmp/w$w.out" 2>/dev/null
+done
+grep -q 'straggler-gate: PASS' "$asynctmp/w1.out" || {
+    grep 'straggler-gate:' "$asynctmp/w1.out" >&2 || true
+    echo "ci: semi-async rounds did not beat bulk-sync latency at equal accuracy" >&2
+    exit 1
+}
+cmp "$asynctmp/w1.out" "$asynctmp/w4.out" || {
+    echo "ci: straggler experiment output differs between -workers 1 and -workers 4" >&2
+    exit 1
+}
+cmp "$asynctmp/w1.jsonl" "$asynctmp/w4.jsonl" || {
+    echo "ci: semi-async trace JSONL differs between -workers 1 and -workers 4" >&2
+    exit 1
+}
+go run ./cmd/nebula-trace "$asynctmp/w1.jsonl" >/dev/null
+# Async determinism end-to-end: same seed, two passes, byte-identical output.
+go run ./cmd/nebula-sim -exp straggler -devices 6 -proxy 8 -steps 2 \
+    -pretrain-epochs 1 -finetune-epochs 1 -local-epochs 1 -seed 5 \
+    -seed-audit >/dev/null
+rm -rf "$asynctmp"
+
 echo "== admin plane gate (live /healthz, /metrics, pprof; scrapes byte-stable at quiescence)"
 admtmp=$(mktemp -d)
 # Build a real binary: `go run` interposes a parent process, so the sim could

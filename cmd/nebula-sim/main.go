@@ -9,6 +9,12 @@
 //	nebula-sim -exp table1 -seed 7 -seed-audit
 //	nebula-sim -exp faults -faults drop=0.25,delay=20ms,reset=0.05 -seed 7 -seed-audit
 //	nebula-sim -exp fig10 -workers 1 -trace run.jsonl
+//	nebula-sim -exp straggler -seed 7 -seed-audit
+//	nebula-sim -exp fig10 -async -staleness-decay 0.5 -trace run.jsonl
+//
+// -async switches every online-stage run to deadline-paced semi-async
+// rounds (docs/ASYNC.md); the straggler experiment compares both modes on
+// one seeded dynamic fleet regardless of the flag.
 //
 // -seed-audit runs the experiment twice with the same -seed and fails (exit
 // 1) unless both passes produce byte-identical output — the dynamic
@@ -65,6 +71,10 @@ func main() {
 	flag.IntVar(&opt.PretrainEpochs, "pretrain-epochs", opt.PretrainEpochs, "cloud pre-training epochs")
 	flag.IntVar(&opt.AdaptSteps, "steps", opt.AdaptSteps, "adaptation steps for fig10/fig11")
 	flag.IntVar(&opt.RandomSubModels, "submodels", opt.RandomSubModels, "random sub-models sampled for fig12")
+	flag.BoolVar(&opt.Async, "async", false, "deadline-paced semi-async rounds for online-stage experiments (docs/ASYNC.md)")
+	flag.Float64Var(&opt.AsyncDeadline, "async-deadline", 0, "per-round sim-time deadline in seconds for -async (0 = auto-calibrate to 2x the first round's median device time)")
+	flag.Float64Var(&opt.StalenessDecay, "staleness-decay", 0, "weight multiplier per round of staleness for late updates in -async (0 = default 0.5)")
+	flag.IntVar(&opt.Stragglers, "stragglers", opt.Stragglers, "devices pinned at maximum contention in the straggler experiment's dynamic fleet")
 	flag.BoolVar(&opt.Verbose, "v", false, "print progress lines")
 	flag.BoolVar(&opt.Points, "points", false, "also dump figures' raw data columns")
 	flag.Parse()

@@ -29,6 +29,13 @@ type RetryPolicy struct {
 	// CallTimeout bounds one request/response exchange via the connection
 	// deadline; an expired call is treated as lost and retried.
 	CallTimeout time.Duration
+	// Deadline bounds the whole call: attempts, reconnects, and backoff
+	// sleeps together. A backoff that would sleep past it is capped at the
+	// remaining budget, and once the budget is spent the call returns
+	// ErrCallDeadline promptly instead of burning the remaining attempts —
+	// without this, a call given 100ms could still block a full MaxDelay
+	// backoff before failing. 0 means no whole-call bound.
+	Deadline time.Duration
 	// Seed drives the jitter sequence (mixed with the device ID), keeping
 	// retry schedules replayable.
 	Seed int64
@@ -36,8 +43,12 @@ type RetryPolicy struct {
 
 // DefaultRetryPolicy is what the testbed binaries use over real networks.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, CallTimeout: 15 * time.Second, Seed: 1}
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, CallTimeout: 15 * time.Second, Deadline: 30 * time.Second, Seed: 1}
 }
+
+// ErrCallDeadline is returned when RetryPolicy.Deadline expires before an
+// attempt succeeds; it wraps the last transport error for context.
+var ErrCallDeadline = errors.New("edgenet: call deadline exceeded")
 
 // RetryStats counts the client's recovery actions.
 type RetryStats struct {
@@ -161,13 +172,28 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	var expire time.Time
+	if c.Policy.Deadline > 0 {
+		expire = time.Now().Add(c.Policy.Deadline) //nolint:rawclock -- whole-call deadline is genuinely wall-clock; never enters simulated costs
+	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			if c.Redial == nil {
 				break // no way to recover a broken gob stream
 			}
-			c.backoff(attempt)
+			remaining := time.Duration(0)
+			if !expire.IsZero() {
+				remaining = time.Until(expire)
+				if remaining <= 0 {
+					// Whole-call budget spent: fail now rather than sleeping
+					// a backoff and burning the remaining attempts.
+					c.stats.Timeouts++
+					clientMetrics.timeouts.Inc()
+					return nil, fmt.Errorf("%w after %d attempts: %v", ErrCallDeadline, attempt, lastErr)
+				}
+			}
+			c.backoff(attempt, remaining)
 			if err := c.reconnect(); err != nil {
 				lastErr = err
 				continue
@@ -177,8 +203,14 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 		}
 		req.Attempt = attempt
 		if c.dl != nil && c.Policy.CallTimeout > 0 {
-			_ = c.dl.SetReadDeadline(time.Now().Add(c.Policy.CallTimeout))  //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
-			_ = c.dl.SetWriteDeadline(time.Now().Add(c.Policy.CallTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+			to := c.Policy.CallTimeout
+			if !expire.IsZero() {
+				if rem := time.Until(expire); rem < to {
+					to = rem // an attempt may not outlive the whole-call budget
+				}
+			}
+			_ = c.dl.SetReadDeadline(time.Now().Add(to))  //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+			_ = c.dl.SetWriteDeadline(time.Now().Add(to)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
 		sw := obs.StartTimer()
 		inBefore, outBefore := c.codec.Traffic()
@@ -210,7 +242,11 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 }
 
 // backoff sleeps base·2^(attempt−1) capped at MaxDelay, plus seeded jitter.
-func (c *EdgeClient) backoff(attempt int) {
+// The sleep never exceeds remaining (the call's unspent deadline budget;
+// 0 = unbounded), so a tight deadline fails promptly instead of blocking a
+// full MaxDelay first. The jitter draw happens before the cap, keeping the
+// seeded jitter sequence identical whether or not a deadline is set.
+func (c *EdgeClient) backoff(attempt int, remaining time.Duration) {
 	d := c.Policy.BaseDelay
 	if d <= 0 {
 		return
@@ -226,6 +262,9 @@ func (c *EdgeClient) backoff(attempt int) {
 		c.rng = rand.New(rand.NewSource(c.Policy.Seed + int64(c.DeviceID)*7919))
 	}
 	d += time.Duration(c.rng.Int63n(int64(d) + 1))
+	if remaining > 0 && d > remaining {
+		d = remaining
+	}
 	time.Sleep(d)
 }
 

@@ -1,0 +1,74 @@
+package edgenet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// brokenConn fails every I/O immediately — a link that is down hard, so each
+// attempt costs no wall time and the test measures only backoff behavior.
+type brokenConn struct{}
+
+func (brokenConn) Read(p []byte) (int, error)  { return 0, io.ErrClosedPipe }
+func (brokenConn) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+func (brokenConn) Close() error                { return nil }
+
+// TestCallDeadlineCapsBackoff is the regression test for the straggler-stall
+// retry bug: with a tight whole-call Deadline, a failing call must return
+// ErrCallDeadline promptly instead of sleeping the full exponential backoff
+// ladder first (which blocked for seconds on a 120ms budget).
+func TestCallDeadlineCapsBackoff(t *testing.T) {
+	cl := &EdgeClient{DeviceID: 1}
+	cl.Policy = RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Deadline:    120 * time.Millisecond,
+		Seed:        1,
+	}
+	cl.Redial = func() (io.ReadWriteCloser, error) { return brokenConn{}, nil }
+	cl.attach(brokenConn{})
+
+	start := time.Now()
+	err := cl.Hello()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call over a dead link must fail")
+	}
+	if !errors.Is(err, ErrCallDeadline) {
+		t.Fatalf("want ErrCallDeadline, got %v", err)
+	}
+	// Without the cap, the ladder alone sleeps 50+100+200+400+800+1600+2000 ms
+	// (plus jitter) before giving up. One second of headroom keeps the test
+	// robust on slow CI while still catching the regression by an order of
+	// magnitude.
+	if elapsed > time.Second {
+		t.Fatalf("deadline did not cap the backoff: call blocked %v with a 120ms budget", elapsed)
+	}
+	if st := cl.RetryStats(); st.Timeouts == 0 {
+		t.Fatalf("abandoned call not counted as a timeout: %+v", st)
+	}
+}
+
+// TestCallDeadlineZeroMeansUnbounded pins the compatibility contract: the
+// zero-value policy (and any policy without Deadline) retries exactly as
+// before, exhausting MaxAttempts and returning the transport error.
+func TestCallDeadlineZeroMeansUnbounded(t *testing.T) {
+	cl := &EdgeClient{DeviceID: 2}
+	cl.Policy = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 1}
+	attempts := 0
+	cl.Redial = func() (io.ReadWriteCloser, error) { attempts++; return brokenConn{}, nil }
+	cl.attach(brokenConn{})
+	err := cl.Hello()
+	if err == nil {
+		t.Fatal("dead link must fail")
+	}
+	if errors.Is(err, ErrCallDeadline) {
+		t.Fatalf("no deadline configured, yet got ErrCallDeadline: %v", err)
+	}
+	if attempts != 2 { // redials for attempts 2 and 3
+		t.Fatalf("expected every retry to run, saw %d redials", attempts)
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/data"
+	"repro/internal/device"
 	"repro/internal/fed"
 	"repro/internal/metrics"
 	"repro/internal/tensor"
@@ -136,4 +137,167 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- dynamic environment generator ---------------------------------------
+
+// ChurnConfig shapes a DynamicFleet's per-step evolution. All probabilities
+// are per step; every draw comes from the fleet's own seeded stream, so two
+// fleets built from the same seed evolve identically.
+type ChurnConfig struct {
+	// LeaveProb is the chance an active device departs this step.
+	LeaveProb float64
+	// RejoinProb is the chance a departed device comes back (with its old
+	// identity, data, and any cached sub-model the strategy still holds).
+	RejoinProb float64
+	// NewProb is the chance a brand-new device (fresh ID, fresh data) enrolls.
+	NewProb float64
+	// BurstProb is the chance an active device gets a transient contention
+	// burst (background processes pinned to the maximum for this step).
+	BurstProb float64
+	// Stragglers permanently pins the first N pool devices at maximum
+	// background contention: their effective FLOPS crater and they become the
+	// bulk-sync round's pacing tail.
+	Stragglers int
+	// MinActive floors the active fleet size; departures that would go below
+	// it are skipped.
+	MinActive int
+}
+
+// DefaultChurn is the straggler experiment's environment: modest churn, a
+// couple of permanently overloaded devices, occasional contention bursts.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{LeaveProb: 0.10, RejoinProb: 0.5, NewProb: 0.08, BurstProb: 0.15, Stragglers: 2, MinActive: 4}
+}
+
+// DynamicFleet extends the continuous-adaptation protocol (per-step Shift +
+// Monitor.Step) into a full dynamic-environment generator: seeded device
+// churn (leave / rejoin / brand-new enrollment), concept drift, and
+// time-varying contention including pinned permanent stragglers. Step order
+// is canonical pool order throughout, so the evolution replays bitwise.
+type DynamicFleet struct {
+	pool   []*fed.Client
+	active []bool
+	churn  ChurnConfig
+
+	rng       *tensor.RNG
+	gen       data.Generator
+	classesM  int
+	minVol    int
+	maxVol    int
+	shiftFrac float64
+	nextID    int
+}
+
+// NewDynamicFleet builds a pool of n initially active devices for the task's
+// generator. classesM is the per-device class count (label skew); shiftFrac
+// is the per-step concept drift.
+func NewDynamicFleet(rng *tensor.RNG, task *fed.Task, n int, shiftFrac float64, churn ChurnConfig) *DynamicFleet {
+	m := task.Classes / 3
+	if m < 2 {
+		m = 2
+	}
+	fleet := data.NewFleet(rng, task.Gen, data.PartitionConfig{
+		NumDevices: n, ClassesPerDevice: m,
+		MinVolume: 50, MaxVolume: 120,
+	})
+	f := &DynamicFleet{
+		pool:      fed.NewClients(rng, fleet),
+		active:    make([]bool, n),
+		churn:     churn,
+		rng:       rng,
+		gen:       task.Gen,
+		classesM:  m,
+		minVol:    50,
+		maxVol:    120,
+		shiftFrac: shiftFrac,
+		nextID:    n,
+	}
+	for i := range f.active {
+		f.active[i] = true
+	}
+	f.pinStragglers()
+	return f
+}
+
+// pinStragglers turns the configured head of the pool into permanent
+// stragglers: weakest-tier hardware on a congested uplink, held at maximum
+// background contention. Neither the class swap nor SetBackgroundProcs
+// consumes randomness, so re-pinning after each Monitor.Step keeps every
+// stream's draw count unchanged.
+func (f *DynamicFleet) pinStragglers() {
+	cls := device.RaspberryPi()
+	cls.Name = "straggler-" + cls.Name
+	cls.BandwidthBps = 2e6 // congested edge uplink, ~20-100x below the fleet
+	for i := 0; i < f.churn.Stragglers && i < len(f.pool); i++ {
+		f.pool[i].Mon.Class = cls
+		f.pool[i].Mon.SetBackgroundProcs(4)
+	}
+}
+
+// Active returns the currently present devices in canonical pool order.
+func (f *DynamicFleet) Active() []*fed.Client {
+	out := make([]*fed.Client, 0, len(f.pool))
+	for i, c := range f.pool {
+		if f.active[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ActiveCount returns how many devices are currently present.
+func (f *DynamicFleet) ActiveCount() int {
+	n := 0
+	for _, a := range f.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Step advances the environment by one adaptation step: membership churn
+// (leave / rejoin / enroll), concept drift and runtime dynamics on every
+// pooled device (departed devices keep drifting — their data is stale when
+// they come back), transient contention bursts, and straggler re-pinning.
+func (f *DynamicFleet) Step() {
+	// Membership churn, canonical pool order.
+	for i := range f.pool {
+		if f.active[i] {
+			if f.rng.Float64() < f.churn.LeaveProb && f.ActiveCount() > f.churn.MinActive {
+				f.active[i] = false
+			}
+		} else if f.rng.Float64() < f.churn.RejoinProb {
+			f.active[i] = true
+		}
+	}
+	if f.rng.Float64() < f.churn.NewProb {
+		f.enroll()
+	}
+	// Concept drift + runtime dynamics on the whole pool.
+	for i, c := range f.pool {
+		c.Dev.Shift(f.shiftFrac)
+		c.Mon.Step()
+		if f.active[i] && f.rng.Float64() < f.churn.BurstProb {
+			c.Mon.SetBackgroundProcs(4)
+		}
+	}
+	f.pinStragglers()
+}
+
+// enroll adds one brand-new active device to the pool: fresh ID, freshly
+// drawn local task and hardware class.
+func (f *DynamicFleet) enroll() {
+	nClasses := f.gen.NumClasses()
+	start := f.rng.Intn(nClasses)
+	classes := make([]int, f.classesM)
+	for j := range classes {
+		classes[j] = (start + j) % nClasses
+	}
+	vol := f.minVol + f.rng.Intn(f.maxVol-f.minVol+1)
+	dev := data.NewDeviceData(f.rng, f.gen, f.nextID, classes, data.RandomEnv(f.rng), vol)
+	f.nextID++
+	f.pool = append(f.pool, &fed.Client{Dev: dev, Mon: device.NewMonitor(f.rng, device.SampleClass(f.rng))})
+	f.active = append(f.active, true)
 }

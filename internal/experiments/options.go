@@ -48,6 +48,17 @@ type Options struct {
 	// 1, produces bitwise-identical artifacts — see docs/PARALLEL.md.
 	Workers int
 
+	// Async switches every online-stage run to deadline-paced semi-async
+	// rounds (nebula-sim -async; docs/ASYNC.md). AsyncDeadline is the
+	// per-round sim-time budget in seconds (0 = auto-calibrate);
+	// StalenessDecay weights late updates by decay^staleness (0 = default).
+	Async          bool
+	AsyncDeadline  float64
+	StalenessDecay float64
+	// Stragglers pins this many devices at maximum contention in the
+	// straggler experiment's dynamic fleet (nebula-sim -stragglers).
+	Stragglers int
+
 	// Trace optionally receives the structured JSONL adaptation log of the
 	// online-stage Nebula runs (nebula-sim -trace). Nil disables tracing.
 	Trace *trace.Logger
@@ -76,6 +87,7 @@ func Default() Options {
 		AdaptSteps:      10,
 		ShiftFrac:       0.5,
 		RandomSubModels: 14,
+		Stragglers:      2,
 		Verbose:         false,
 	}
 }
@@ -88,6 +100,9 @@ func (o Options) fedConfig() fed.Config {
 	cfg.LocalEpochs = o.LocalEpochs
 	cfg.FinetuneEpochs = o.FinetuneEpochs
 	cfg.Workers = o.Workers
+	cfg.Async = o.Async
+	cfg.RoundDeadline = o.AsyncDeadline
+	cfg.StalenessDecay = o.StalenessDecay
 	return cfg
 }
 

@@ -98,6 +98,12 @@ func Registry() []Runner {
 			r.Counters.Fprint(o.Out)
 			return nil
 		}},
+		{"straggler", "Straggler stall — bulk-sync vs semi-async rounds under churn (beyond the paper)", func(o Options) error {
+			r := RunStraggler(o)
+			r.Table.Fprint(o.Out)
+			r.FprintGate(o.Out)
+			return nil
+		}},
 	}
 }
 

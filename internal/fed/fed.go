@@ -51,6 +51,23 @@ type Config struct {
 	// (training and evaluation fan-out). 0 means runtime.NumCPU. Results are
 	// bitwise identical for every value, including 1 — see docs/PARALLEL.md.
 	Workers int
+
+	// Async enables the staleness-aware semi-async round engine
+	// (docs/ASYNC.md): rounds tick at a per-round sim-time deadline, updates
+	// arriving by the deadline aggregate immediately, stragglers carry their
+	// work into the round it lands in (weight decayed by staleness), and
+	// devices may join or leave between rounds. Arrival order is a pure
+	// function of the seeded sim clock, never wall time, so async runs replay
+	// bitwise and are worker-count independent like sync runs.
+	Async bool
+	// RoundDeadline is the per-round sim-time budget in seconds for async
+	// mode. 0 auto-calibrates after the first async round to 2× the median
+	// device time observed in that round.
+	RoundDeadline float64
+	// StalenessDecay ∈ (0,1] multiplies a late update's aggregation weight by
+	// decay^staleness, where staleness is the number of rounds between launch
+	// and landing. 0 means the default 0.5.
+	StalenessDecay float64
 }
 
 // DefaultConfig mirrors the paper's parameter settings.
@@ -219,10 +236,14 @@ func meanLocalAccuracyLayer(m nn.Layer, clients []*Client, testN, workers int) f
 	return sum / float64(len(clients))
 }
 
-// sampleClients picks k distinct clients.
+// sampleClients picks k distinct clients. The result is always a fresh slice,
+// never an alias of clients: callers reorder and truncate their sample (e.g.
+// dropping unreachable devices), and an aliased return would let that
+// mutation reorder the shared fleet and silently perturb canonical device
+// order for every later round.
 func sampleClients(rng *tensor.RNG, clients []*Client, k int) []*Client {
 	if k >= len(clients) {
-		return clients
+		return append([]*Client(nil), clients...)
 	}
 	idx := rng.Sample(len(clients), k)
 	out := make([]*Client, k)

@@ -369,6 +369,27 @@ func TestSampleClientsDistinct(t *testing.T) {
 	}
 }
 
+func TestSampleClientsOversampleReturnsCopy(t *testing.T) {
+	rng := tensor.NewRNG(16)
+	task := HARTask(17, ScaleQuick)
+	clients := harFleet(rng, task, 4, 2)
+	// k >= len(clients) must hand back a fresh slice, not an alias: callers
+	// (the async engine keeps participant slices across rounds) may hold or
+	// mutate the result without corrupting the caller's fleet ordering.
+	for _, k := range []int{4, 99} {
+		picked := sampleClients(rng, clients, k)
+		if len(picked) != len(clients) {
+			t.Fatalf("k=%d: picked %d", k, len(picked))
+		}
+		saved := clients[0]
+		picked[0] = nil
+		if clients[0] != saved {
+			t.Fatalf("k=%d: sampleClients aliased the caller's slice", k)
+		}
+		picked[0] = saved
+	}
+}
+
 func TestTaskByName(t *testing.T) {
 	for _, name := range []string{"har-mlp", "image10-resnet", "image100-vgg", "speech-resnet"} {
 		task := TaskByName(name, 1, ScaleQuick)

@@ -76,6 +76,12 @@ type Nebula struct {
 	subs       map[int]*modular.SubModel
 	imps       map[int][][]float64
 	hasGatePkg map[int]bool // devices that already hold the selector
+
+	// async holds the semi-async coordinator state (cfg.Async; docs/ASYNC.md),
+	// lazily created on the first deadline-paced round and persisted across
+	// Adapt calls so carried stragglers and the sim clock survive step
+	// boundaries.
+	async *asyncState
 }
 
 // NewNebula builds the Nebula strategy with paper-like defaults.
@@ -181,19 +187,30 @@ func (s *Nebula) importanceWith(sel *modular.Selector, c *Client) [][]float64 {
 }
 
 // Adapt runs cfg.Rounds online rounds (or, for the w/o-cloud variant, pure
-// local updates).
+// local updates). With cfg.Async the rounds are deadline-paced and
+// staleness-aware (docs/ASYNC.md) instead of bulk-synchronous.
 func (s *Nebula) Adapt(rng *tensor.RNG, clients []*Client) {
 	if !s.CloudCollaboration {
 		s.adaptLocalOnly(rng, clients)
 		return
 	}
 	for r := 0; r < s.cfg.Rounds; r++ {
-		s.round(rng, clients)
+		if s.cfg.Async {
+			s.asyncRound(rng, clients)
+		} else {
+			s.round(rng, clients)
+		}
 	}
 }
 
 // Round runs one online round.
-func (s *Nebula) Round(rng *tensor.RNG, clients []*Client) { s.round(rng, clients) }
+func (s *Nebula) Round(rng *tensor.RNG, clients []*Client) {
+	if s.cfg.Async {
+		s.asyncRound(rng, clients)
+		return
+	}
+	s.round(rng, clients)
+}
 
 // nebulaResult is one device's round outcome, filled by a worker and folded
 // into strategy state by the coordinator in canonical device order.
@@ -208,86 +225,103 @@ type nebulaResult struct {
 	span   trace.Span
 }
 
-func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
-	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
-	round := s.costs.Rounds + 1
-	s.Trace.RoundStart(round)
-	m := s.metrics()
-	m.currentRound.Set(float64(round))
-	swPrep := obs.StartTimer()
+// roundPrep is the serial coordinator-prep output for one round's launch set:
+// every master-stream draw (dropout rolls, fault pre-draws, stream splits)
+// and every shared-state read (held sub-models, selector ownership), all in
+// canonical device order, captured before any worker starts.
+type roundPrep struct {
+	part       []*Client
+	drop       []bool
+	held       []*modular.SubModel
+	hadGate    []bool
+	fetchOK    []bool
+	fetchExtra []float64
+	pushOK     []bool
+	pushExtra  []float64
+	streams    []*tensor.RNG
+}
 
-	// Coordinator prep: all master-stream draws and all shared-state reads,
-	// in canonical device order. Fault rolls are keyed hashes, but their stat
-	// counters mutate, so they are pre-drawn here too.
+// prepRound runs the serial coordinator-prep phase over the sampled devices.
+// Fault rolls are keyed hashes, but their stat counters mutate, so they are
+// pre-drawn here too.
+func (s *Nebula) prepRound(rng *tensor.RNG, part []*Client, round int) *roundPrep {
 	n := len(part)
-	drop := make([]bool, n)
-	held := make([]*modular.SubModel, n)
-	hadGate := make([]bool, n)
-	fetchOK := make([]bool, n)
-	fetchExtra := make([]float64, n)
-	pushOK := make([]bool, n)
-	pushExtra := make([]float64, n)
+	p := &roundPrep{
+		part:       part,
+		drop:       make([]bool, n),
+		held:       make([]*modular.SubModel, n),
+		hadGate:    make([]bool, n),
+		fetchOK:    make([]bool, n),
+		fetchExtra: make([]float64, n),
+		pushOK:     make([]bool, n),
+		pushExtra:  make([]float64, n),
+	}
 	for i, c := range part {
 		if s.cfg.DropoutProb > 0 {
-			drop[i] = rng.Float64() < s.cfg.DropoutProb
+			p.drop[i] = rng.Float64() < s.cfg.DropoutProb
 		}
-		if drop[i] {
+		if p.drop[i] {
 			continue // device dropped out of this round
 		}
 		id := c.Dev.ID
-		held[i] = s.subs[id]
-		hadGate[i] = s.hasGatePkg[id]
-		fetchOK[i], fetchExtra[i] = s.Faults.Fetch(round, id)
+		p.held[i] = s.subs[id]
+		p.hadGate[i] = s.hasGatePkg[id]
+		p.fetchOK[i], p.fetchExtra[i] = s.Faults.Fetch(round, id)
 		switch {
-		case fetchOK[i]:
-		case held[i] != nil:
+		case p.fetchOK[i]:
+		case p.held[i] != nil:
 			s.Faults.NoteFallback()
 		default:
 			s.Faults.NoteSkip()
 		}
-		if s.LocalTraining && (fetchOK[i] || held[i] != nil) {
-			pushOK[i], pushExtra[i] = s.Faults.Push(round, id)
+		if s.LocalTraining && (p.fetchOK[i] || p.held[i] != nil) {
+			p.pushOK[i], p.pushExtra[i] = s.Faults.Push(round, id)
 		}
 	}
-	streams := splitStreams(rng, n)
-	m.phasePrep.ObserveSince(swPrep)
+	p.streams = splitStreams(rng, n)
+	return p
+}
 
-	// Parallel phase: each device works against its own stream, sub-model,
-	// selector copy, and result slot.
-	swParallel := obs.StartTimer()
-	res := make([]nebulaResult, n)
-	forEachDevice(s.cfg.Workers, n, func(i int) {
-		if drop[i] {
+// runDevices is the parallel phase: each device works against its own
+// derived stream, sub-model, selector copy, and result slot. round is the
+// launch round (used only for span annotations). Workers never emit the
+// client_update record themselves — the coordinator does, at commit time, so
+// the same body serves both the sync path (commit in the launch round) and
+// the async path (commit in the landing round).
+func (s *Nebula) runDevices(p *roundPrep, round int) []nebulaResult {
+	res := make([]nebulaResult, len(p.part))
+	forEachDevice(s.cfg.Workers, len(p.part), func(i int) {
+		if p.drop[i] {
 			return
 		}
-		c := part[i]
+		c := p.part[i]
 		id := c.Dev.ID
 		r := &res[i]
-		if !fetchOK[i] && held[i] == nil {
+		if !p.fetchOK[i] && p.held[i] == nil {
 			// No cache to fall back on: sit the round out. The wasted link
 			// time still bounds the slot (the device was trying).
 			r.span.Notef("round %d device %d: fetch lost, no cached sub-model, skipping round", round, id)
-			r.t = fetchExtra[i]
+			r.t = p.fetchExtra[i]
 			return
 		}
 		var sub *modular.SubModel
 		var bytes int64
 		imp := s.importanceWith(s.Model.Selector.Clone(), c)
-		if fetchOK[i] {
+		if p.fetchOK[i] {
 			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
-			if held[i] != nil && overlapRatio(held[i].Mapping, active) >= s.RederiveOverlap {
+			if p.held[i] != nil && overlapRatio(p.held[i].Mapping, active) >= s.RederiveOverlap {
 				// Keep the personalized sub-model; pull the cloud's current
 				// parameters for the held modules and blend them in.
-				cloudSub := s.Model.Extract(held[i].Mapping)
-				blendSubModels(held[i], cloudSub, s.PullBlend)
-				sub = held[i]
+				cloudSub := s.Model.Extract(p.held[i].Mapping)
+				blendSubModels(p.held[i], cloudSub, s.PullBlend)
+				sub = p.held[i]
 				bytes = cloudSub.BackboneBytes()
 			} else {
 				// First contact or the local task moved: new structure.
 				sub = s.Model.Extract(active)
 				bytes = sub.BackboneBytes()
 			}
-			if !hadGate[i] {
+			if !p.hadGate[i] {
 				bytes += sub.SelectorBytes()
 				r.gate = true
 			}
@@ -295,24 +329,24 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 			// Download lost after retries: degrade to the cached sub-model —
 			// train it on fresh local data without this round's cloud pull.
 			r.span.Notef("round %d device %d: fetch lost, serving cached sub-model", round, id)
-			sub = held[i]
+			sub = p.held[i]
 		}
-		p := c.Mon.Profile()
-		t := p.TransferTime(bytes) + fetchExtra[i]
+		prof := c.Mon.Profile()
+		t := prof.TransferTime(bytes) + p.fetchExtra[i]
 		if s.LocalTraining {
-			TrainSubModel(streams[i], sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
+			TrainSubModel(p.streams[i], sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
 			upBytes := int64(nn.ParamCount(sub.Params())) * 4 // modules+stem+head; selector is not updated on edge
 			_, fwd, _ := s.Model.SelectionCost(sub.Mapping)
-			t += trainTime(p, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
-			t += pushExtra[i]
-			if pushOK[i] {
+			t += trainTime(prof, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
+			t += p.pushExtra[i]
+			if p.pushOK[i] {
 				hist := c.Dev.Train.ClassHistogram()
 				cw := make([]float64, len(hist))
 				for ci, cnt := range hist {
 					cw[ci] = float64(cnt)
 				}
 				r.update = &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw}
-				t += p.TransferTime(upBytes)
+				t += prof.TransferTime(upBytes)
 				r.up = upBytes
 			} else {
 				// Upload lost after retries: the local training still
@@ -322,47 +356,62 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 			}
 		}
 		r.sub, r.imp, r.down, r.t = sub, imp, bytes, t
-		r.span.ClientUpdate(round, id, sub.NumModules(), bytes, r.up, t)
 	})
+	return res
+}
 
-	m.phaseParallel.ObserveSince(swParallel)
-
-	// Canonical reduce: fold results in device order — identical to what the
-	// serial loop produced. Metric updates here are part of the serial
-	// phase, so counter values (and float accumulation order) are a pure
-	// function of the seeds — exactly what trace.Summarize recomputes.
-	var updates []*modular.Update
-	var slot float64
-	live := 0
-	for i := range res {
-		if drop[i] {
-			continue
-		}
-		r := &res[i]
-		s.Trace.Flush(&r.span)
-		if r.t > slot {
-			slot = r.t
-		}
-		if r.sub == nil {
-			continue // sat the round out
-		}
-		live++
-		id := part[i].Dev.ID
-		s.costs.BytesDown += r.down
-		s.costs.BytesUp += r.up
-		m.bytesDown.Add(float64(r.down))
-		m.bytesUp.Add(float64(r.up))
-		m.deviceSimSeconds.Observe(r.t)
-		s.subs[id] = r.sub
-		s.imps[id] = r.imp
-		if r.gate {
-			s.hasGatePkg[id] = true
-		}
-		if r.update != nil {
-			updates = append(updates, r.update)
-		}
+// commitDevice folds one device's finished result into strategy state: trace
+// span flush + client_update emission, cost and metric accumulation, and
+// strategy-map writes. It runs only on the serial coordinator, in the round
+// the result lands in. stale is landing−launch in rounds (0 for on-time /
+// bulk-sync); a stale update's aggregation weight decays by
+// StalenessDecay^stale. Returns the device's update for the aggregation list
+// (nil if the device sat out or its push was lost).
+func (s *Nebula) commitDevice(landing int, c *Client, r *nebulaResult, stale int) *modular.Update {
+	s.Trace.Flush(&r.span)
+	if r.sub == nil {
+		return nil // sat the round out; the span note above is its only record
 	}
-	m.participants.Set(float64(live))
+	m := s.metrics()
+	id := c.Dev.ID
+	if stale > 0 {
+		s.Trace.LateUpdate(landing, id, r.sub.NumModules(), r.down, r.up, r.t, stale)
+	} else {
+		s.Trace.ClientUpdate(landing, id, r.sub.NumModules(), r.down, r.up, r.t)
+	}
+	s.costs.BytesDown += r.down
+	s.costs.BytesUp += r.up
+	m.bytesDown.Add(float64(r.down))
+	m.bytesUp.Add(float64(r.up))
+	m.deviceSimSeconds.Observe(r.t)
+	s.subs[id] = r.sub
+	s.imps[id] = r.imp
+	if r.gate {
+		s.hasGatePkg[id] = true
+	}
+	if r.update == nil {
+		return nil
+	}
+	if stale > 0 {
+		m.lateUpdates.Inc()
+		m.staleRounds.Add(float64(stale))
+		r.update.Weight *= math.Pow(s.stalenessDecay(), float64(stale))
+	}
+	return r.update
+}
+
+// stalenessDecay returns the configured decay with its default applied.
+func (s *Nebula) stalenessDecay() float64 {
+	if s.cfg.StalenessDecay > 0 {
+		return s.cfg.StalenessDecay
+	}
+	return 0.5
+}
+
+// aggregate folds the round's landed updates into the cloud model and closes
+// the round's accounting with the given slot time.
+func (s *Nebula) aggregate(round int, updates []*modular.Update, slot float64) {
+	m := s.metrics()
 	if len(updates) > 0 {
 		swAggregate := obs.StartTimer()
 		s.Model.AggregateModuleWise(updates)
@@ -377,6 +426,47 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 	m.simSeconds.Add(slot)
 	m.roundSlotSeconds.Observe(slot)
 	m.rounds.Inc()
+}
+
+func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
+	part := sampleClients(rng, clients, s.cfg.DevicesPerRound)
+	round := s.costs.Rounds + 1
+	s.Trace.RoundStart(round)
+	m := s.metrics()
+	m.currentRound.Set(float64(round))
+
+	swPrep := obs.StartTimer()
+	p := s.prepRound(rng, part, round)
+	m.phasePrep.ObserveSince(swPrep)
+
+	swParallel := obs.StartTimer()
+	res := s.runDevices(p, round)
+	m.phaseParallel.ObserveSince(swParallel)
+
+	// Canonical reduce: fold results in device order — identical to what the
+	// serial loop produced. Metric updates here are part of the serial
+	// phase, so counter values (and float accumulation order) are a pure
+	// function of the seeds — exactly what trace.Summarize recomputes.
+	var updates []*modular.Update
+	var slot float64
+	live := 0
+	for i := range res {
+		if p.drop[i] {
+			continue
+		}
+		r := &res[i]
+		if r.t > slot {
+			slot = r.t
+		}
+		if u := s.commitDevice(round, part[i], r, 0); u != nil {
+			updates = append(updates, u)
+		}
+		if r.sub != nil {
+			live++
+		}
+	}
+	m.participants.Set(float64(live))
+	s.aggregate(round, updates, slot)
 }
 
 // adaptLocalOnly implements the w/o-cloud ablation: derive once, then only

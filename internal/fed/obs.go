@@ -44,6 +44,14 @@ type RoundMetrics struct {
 	roundSlotSeconds *obs.Histogram
 	deviceSimSeconds *obs.Histogram
 
+	// Semi-async round engine accounting (docs/ASYNC.md). Deterministic:
+	// recorded only on the serial coordinator, mirrored by Replay from the
+	// trace's stale/deadline/churn fields.
+	lateUpdates   *obs.Counter
+	staleRounds   *obs.Counter
+	roundDeadline *obs.Gauge
+	churnEvents   map[string]*obs.Counter
+
 	// Wall-clock phase timings (nondeterministic by nature).
 	phasePrep      *obs.Histogram
 	phaseParallel  *obs.Histogram
@@ -81,6 +89,10 @@ func NewRoundMetrics(r *obs.Registry) *RoundMetrics {
 	r.Help("nebula_fed_pool_tasks_total", "Device tasks executed by the worker pool.")
 	r.Help("nebula_fed_pool_dispatch_total", "Fan-out invocations, by dispatch mode.")
 	r.Help("nebula_fed_fault_events_total", "Simulated link fault outcomes, mirroring FaultStats.")
+	r.Help("nebula_fed_late_updates_total", "Straggler updates that landed after their launch round (async mode).")
+	r.Help("nebula_fed_stale_rounds_total", "Total staleness (landing minus launch rounds) across late updates.")
+	r.Help("nebula_fed_round_deadline_seconds", "Current per-round sim-time deadline (async mode; 0 = bulk-sync).")
+	r.Help("nebula_fed_churn_events_total", "Fleet membership changes, by event (async mode).")
 	m := &RoundMetrics{
 		rounds:           r.Counter("nebula_fed_rounds_total"),
 		simSeconds:       r.Counter("nebula_fed_sim_seconds_total"),
@@ -101,6 +113,10 @@ func NewRoundMetrics(r *obs.Registry) *RoundMetrics {
 		poolTasks:        r.Counter("nebula_fed_pool_tasks_total"),
 		poolInline:       r.Counter("nebula_fed_pool_dispatch_total", "mode", "inline"),
 		poolFanout:       r.Counter("nebula_fed_pool_dispatch_total", "mode", "fanout"),
+		lateUpdates:      r.Counter("nebula_fed_late_updates_total"),
+		staleRounds:      r.Counter("nebula_fed_stale_rounds_total"),
+		roundDeadline:    r.Gauge("nebula_fed_round_deadline_seconds"),
+		churnEvents:      map[string]*obs.Counter{},
 		faultEvents:      map[string]*obs.Counter{},
 	}
 	for _, ev := range []string{
@@ -108,6 +124,9 @@ func NewRoundMetrics(r *obs.Registry) *RoundMetrics {
 		"push", "push_retry", "push_failure",
 	} {
 		m.faultEvents[ev] = r.Counter("nebula_fed_fault_events_total", "event", ev)
+	}
+	for _, ev := range []string{"join", "leave", "drop_pending"} {
+		m.churnEvents[ev] = r.Counter("nebula_fed_churn_events_total", "event", ev)
 	}
 	return m
 }
@@ -152,14 +171,26 @@ func (m *RoundMetrics) Replay(events []trace.Event) {
 			participants = 0
 			m.rounds.Inc()
 			m.currentRound.Set(float64(e.Round))
+			m.roundDeadline.Set(e.Deadline)
 		case trace.KindClientUpdate:
 			participants++
 			m.bytesUp.Add(float64(e.BytesUp))
 			m.bytesDown.Add(float64(e.BytesDn))
 			m.deviceSimSeconds.Observe(e.SimTime)
-			if e.SimTime > roundMax {
+			if e.Stale > 0 {
+				// A stale update's SimTime spans rounds; it never feeds the
+				// single-round slot fallback (mirrors trace.Summarize).
+				m.lateUpdates.Inc()
+				m.staleRounds.Add(float64(e.Stale))
+			} else if e.SimTime > roundMax {
 				roundMax = e.SimTime
 			}
+		case trace.KindChurn:
+			if c, ok := m.churnEvents[e.Note]; ok {
+				c.Inc()
+			}
+			m.bytesUp.Add(float64(e.BytesUp))
+			m.bytesDown.Add(float64(e.BytesDn))
 		case trace.KindAggregate:
 			m.aggregations.Inc()
 			m.updates.Add(float64(e.Modules))

@@ -176,6 +176,111 @@ func TestReplaySummarizeSemantics(t *testing.T) {
 	}
 }
 
+// TestAsyncTraceSummarizeMatchesCounters extends the cross-layer drift
+// detector to semi-async mode: with carried stragglers, late landings, and
+// churn (drop_pending charges, join bootstrap downloads), the trace totals
+// must still exactly equal the live obs counters.
+func TestAsyncTraceSummarizeMatchesCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	log, costs, _, _ := asyncChurnScenario(t, 4, reg)
+	events, err := trace.Read(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.CheckSeq(events); err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.Summarize(events)
+	if got := counterValue(t, reg, "nebula_fed_rounds_total", ""); got != float64(sum.Rounds) || sum.Rounds != costs.Rounds {
+		t.Errorf("rounds counter = %v, trace says %d, live %d", got, sum.Rounds, costs.Rounds)
+	}
+	if got := counterValue(t, reg, "nebula_fed_traffic_bytes_total", `dir="up"`); got != float64(sum.BytesUp) {
+		t.Errorf("bytes-up counter = %v, trace says %d", got, sum.BytesUp)
+	}
+	if got := counterValue(t, reg, "nebula_fed_traffic_bytes_total", `dir="down"`); got != float64(sum.BytesDown) {
+		t.Errorf("bytes-down counter = %v, trace says %d", got, sum.BytesDown)
+	}
+	if got := counterValue(t, reg, "nebula_fed_sim_seconds_total", ""); got != sum.SimTime {
+		t.Errorf("sim-seconds counter = %v, trace says %v", got, sum.SimTime)
+	}
+	// The async families must agree with a direct recount of the log.
+	var late, staleSum float64
+	churn := map[string]float64{}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindClientUpdate:
+			if e.Stale > 0 {
+				late++
+				staleSum += float64(e.Stale)
+			}
+		case trace.KindChurn:
+			churn[e.Note]++
+		}
+	}
+	if got := counterValue(t, reg, "nebula_fed_late_updates_total", ""); got != late {
+		t.Errorf("late-updates counter = %v, trace says %v", got, late)
+	}
+	if got := counterValue(t, reg, "nebula_fed_stale_rounds_total", ""); got != staleSum {
+		t.Errorf("stale-rounds counter = %v, trace says %v", got, staleSum)
+	}
+	for _, ev := range []string{"join", "leave", "drop_pending"} {
+		if got := counterValue(t, reg, "nebula_fed_churn_events_total", `event="`+ev+`"`); got != churn[ev] {
+			t.Errorf("churn counter %q = %v, trace says %v", ev, got, churn[ev])
+		}
+	}
+	if churn["drop_pending"] == 0 || churn["join"] == 0 {
+		t.Fatal("scenario exercised no churn — the cross-check proves nothing")
+	}
+}
+
+// TestAsyncReplayTraceMatchesLiveRegistry pins the `nebula-trace -metrics`
+// contract in async mode: replaying a semi-async log (deadlines, stale
+// landings, churn) reproduces the live deterministic families byte for byte,
+// including the four async families.
+func TestAsyncReplayTraceMatchesLiveRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	log, _, _, _ := asyncChurnScenario(t, 2, reg)
+	events, err := trace.Read(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := ReplayTrace(events)
+	deterministic := map[string]bool{
+		"nebula_fed_rounds_total":             true,
+		"nebula_fed_sim_seconds_total":        true,
+		"nebula_fed_traffic_bytes_total":      true,
+		"nebula_fed_aggregations_total":       true,
+		"nebula_fed_updates_aggregated_total": true,
+		"nebula_fed_round_slot_seconds":       true,
+		"nebula_fed_device_sim_seconds":       true,
+		"nebula_fed_current_round":            true,
+		"nebula_fed_participants":             true,
+		"nebula_fed_late_updates_total":       true,
+		"nebula_fed_stale_rounds_total":       true,
+		"nebula_fed_round_deadline_seconds":   true,
+		"nebula_fed_churn_events_total":       true,
+	}
+	pick := func(fams []obs.Family) []obs.Family {
+		var out []obs.Family
+		for _, f := range fams {
+			if deterministic[f.Name] {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	var live, offline bytes.Buffer
+	if err := obs.WritePrometheus(&live, pick(reg.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WritePrometheus(&offline, pick(replayed.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != offline.String() {
+		t.Fatalf("async replayed metrics diverge from live registry:\n--- live ---\n%s--- replayed ---\n%s", live.String(), offline.String())
+	}
+}
+
 // TestFaultCountersMirrorStats checks the obs mirror of FaultStats stays in
 // lockstep with the authoritative struct across a faulty run.
 func TestFaultCountersMirrorStats(t *testing.T) {

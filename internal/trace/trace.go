@@ -24,6 +24,11 @@ const (
 	KindRoundEnd     Kind = "round_end"
 	KindEval         Kind = "eval"
 	KindNote         Kind = "note"
+	// KindChurn records a fleet membership change in async mode: Note is
+	// "join", "leave", or "drop_pending" (a departed device's in-flight work
+	// was discarded; BytesDn then carries the download traffic that device
+	// had already consumed, so replayed accounting still balances).
+	KindChurn Kind = "churn"
 )
 
 // Event is one structured log record. Fields are a superset across kinds;
@@ -40,6 +45,12 @@ type Event struct {
 	SimTime  float64 `json:"sim_time,omitempty"`
 	Accuracy float64 `json:"accuracy,omitempty"`
 	Note     string  `json:"note,omitempty"`
+	// Stale is the number of rounds between an update's launch and its
+	// landing (client_update in async mode; 0 = on time, omitted).
+	Stale int `json:"stale,omitempty"`
+	// Deadline is the round's sim-time budget in seconds (round_start in
+	// async mode; 0 = bulk-synchronous, omitted).
+	Deadline float64 `json:"deadline,omitempty"`
 }
 
 // Logger writes events as JSON lines. The zero value and a nil *Logger both
@@ -122,10 +133,32 @@ func (l *Logger) RoundStart(round int) {
 	l.Emit(Event{Kind: KindRoundStart, Round: round})
 }
 
+// RoundStartAt logs the beginning of a deadline-paced (semi-async) round with
+// the round's sim-time budget.
+func (l *Logger) RoundStartAt(round int, deadline float64) {
+	l.Emit(Event{Kind: KindRoundStart, Round: round, Deadline: deadline})
+}
+
 // ClientUpdate logs one device's participation.
 func (l *Logger) ClientUpdate(round, client, modules int, bytesDown, bytesUp int64, simTime float64) {
 	l.Emit(Event{Kind: KindClientUpdate, Round: round, Client: client, Modules: modules,
 		BytesDn: bytesDown, BytesUp: bytesUp, SimTime: simTime})
+}
+
+// LateUpdate logs a straggler's update landing stale rounds after its launch
+// round (async mode). SimTime is the device's total simulated work+link time
+// for the carried update, not the landing round's slot — Summarize therefore
+// never folds stale updates into a round-slot fallback.
+func (l *Logger) LateUpdate(round, client, modules int, bytesDown, bytesUp int64, simTime float64, stale int) {
+	l.Emit(Event{Kind: KindClientUpdate, Round: round, Client: client, Modules: modules,
+		BytesDn: bytesDown, BytesUp: bytesUp, SimTime: simTime, Stale: stale})
+}
+
+// Churn logs a fleet membership change: event is "join", "leave", or
+// "drop_pending". bytesDown carries already-consumed download traffic for
+// drop_pending (0 otherwise).
+func (l *Logger) Churn(round, client int, event string, bytesDown int64) {
+	l.Emit(Event{Kind: KindChurn, Round: round, Client: client, Note: event, BytesDn: bytesDown})
 }
 
 // Aggregate logs a cloud aggregation over n updates.
@@ -266,9 +299,15 @@ func Summarize(events []Event) Summary {
 		case KindClientUpdate:
 			s.BytesUp += e.BytesUp
 			s.BytesDown += e.BytesDn
-			if e.SimTime > roundMax {
+			// A stale update's SimTime spans multiple rounds (time since its
+			// launch), so it never participates in the single-round slot
+			// fallback; async logs always carry authoritative round_end slots.
+			if e.Stale == 0 && e.SimTime > roundMax {
 				roundMax = e.SimTime
 			}
+		case KindChurn:
+			s.BytesUp += e.BytesUp
+			s.BytesDown += e.BytesDn
 		case KindRoundEnd:
 			s.SimTime += e.SimTime
 			roundDone = true

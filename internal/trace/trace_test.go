@@ -119,6 +119,50 @@ func TestSummarizePrefersRoundEndSlot(t *testing.T) {
 	}
 }
 
+func TestSummarizeStaleAndChurn(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.RoundStartAt(1, 0) // calibration round: no deadline yet
+	l.ClientUpdate(1, 0, 3, 100, 50, 2)
+	l.RoundEnd(1, 2)
+	l.RoundStartAt(2, 1.5)
+	l.Churn(2, 0, "leave", 0)
+	l.Churn(2, 9, "drop_pending", 70)
+	l.Churn(2, 5, "join", 40)
+	// A stale update's SimTime spans rounds; without a round_end it must NOT
+	// become the round's slot fallback — only on-time updates may.
+	l.LateUpdate(2, 1, 3, 100, 50, 9.7, 1)
+	l.ClientUpdate(2, 2, 3, 10, 5, 1.2)
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[3].Deadline != 1.5 {
+		t.Fatalf("round_start deadline lost: %+v", events[3])
+	}
+	if events[0].Deadline != 0 {
+		t.Fatalf("zero deadline must be omitted, not invented: %+v", events[0])
+	}
+	if stale := events[7]; stale.Kind != KindClientUpdate || stale.Stale != 1 {
+		t.Fatalf("late update record: %+v", stale)
+	}
+	if drop := events[5]; drop.Kind != KindChurn || drop.Note != "drop_pending" || drop.BytesDn != 70 {
+		t.Fatalf("drop_pending record: %+v", drop)
+	}
+	s := Summarize(events)
+	if s.Rounds != 2 {
+		t.Fatalf("rounds %d", s.Rounds)
+	}
+	// Churn bytes (dropped straggler's download, join bootstrap) count.
+	if s.BytesDown != 100+70+40+100+10 || s.BytesUp != 50+50+5 {
+		t.Fatalf("bytes %d/%d", s.BytesDown, s.BytesUp)
+	}
+	// Round 2 slot falls back to the on-time update's 1.2, never the stale 9.7.
+	if s.SimTime != 2+1.2 {
+		t.Fatalf("sim time %v, want 3.2", s.SimTime)
+	}
+}
+
 // failAfter fails every Write after the first n.
 type failAfter struct {
 	n    int
