@@ -176,6 +176,26 @@ rm -rf "$admtmp"
 echo "== bench smoke (kernel benches compile and run once)"
 go test -run '^$' -bench 'BenchmarkGemm|BenchmarkDenseStep|BenchmarkConvStep' -benchtime 1x . >/dev/null
 
+echo "== implicit-conv smoke (one shape; steady-state allocs/op must be 0)"
+# The implicit-GEMM path gathers image pixels straight into arena-backed
+# panels; any heap allocation here means a panel escaped the arena, the
+# regression the deleted column-matrix buffer used to mask. 100 iterations
+# amortize the arena's first-use growth to <1 alloc/op.
+smoketmp=$(mktemp -d)
+go test -run '^$' -bench 'BenchmarkConvGemmImplicit/c16x32_12x12$' -benchmem \
+    -benchtime 100x ./internal/tensor/ >"$smoketmp/implicit.out"
+grep -q 'BenchmarkConvGemmImplicit' "$smoketmp/implicit.out" || {
+    echo "ci: implicit-conv bench did not run" >&2
+    exit 1
+}
+allocs=$(awk '/BenchmarkConvGemmImplicit/ {print $(NF-1)}' "$smoketmp/implicit.out")
+[ "$allocs" = "0" ] || {
+    cat "$smoketmp/implicit.out" >&2
+    echo "ci: implicit-conv path allocates ($allocs allocs/op); panels must stay in the scratch arena" >&2
+    exit 1
+}
+rm -rf "$smoketmp"
+
 if [ "${1:-}" != "" ]; then
     echo "== seed audit (seed $1)"
     go run ./cmd/nebula-sim -exp fig1b -seed "$1" -seed-audit >/dev/null

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// FastMath flags tensor.SetFastMath / tensor.FastMath calls inside the
+// determinism-contract packages. The AVX2/FMA fast kernel rounds differently
+// from the strict micro-kernel, so the moment simulation or experiment code
+// toggles — or even branches on — fast-math mode, the figures, traces, and
+// -seed-audit byte-compares stop being a function of the config seed alone.
+// Fast mode is for benchmarking and throughput-only callers (nebula-bench's
+// fast rows, external users of the tensor package); the artifact-producing
+// pipeline must never see it.
+type FastMath struct{}
+
+// Name implements Analyzer.
+func (FastMath) Name() string { return "fastmath" }
+
+// Doc implements Analyzer.
+func (FastMath) Doc() string {
+	return "tensor.SetFastMath/FastMath in artifact-producing code; the FMA kernel breaks the bitwise contract"
+}
+
+// DefaultPaths implements Analyzer: the packages whose outputs are pinned
+// bitwise — the federated pipeline, the experiment figures, and the simulator
+// binary that -seed-audit runs.
+func (FastMath) DefaultPaths() []string {
+	return []string{"internal/fed", "internal/experiments", "cmd/nebula-sim"}
+}
+
+// fastMathFuncs are the mode entry points: the toggle and the probe. The
+// read counts too — branching on FastMath() makes behavior depend on kernel
+// mode, which is exactly the dependency the contract forbids.
+var fastMathFuncs = map[string]bool{"SetFastMath": true, "FastMath": true}
+
+// Check implements Analyzer.
+func (FastMath) Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, resolved := fastMathCallee(f, call)
+		if name == "" {
+			return true
+		}
+		how := "resolved via type info"
+		if !resolved {
+			how = "name-matched on the tensor import"
+		}
+		out = append(out, Diagnostic{
+			Pos:   f.Fset.Position(call.Pos()),
+			Check: "fastmath",
+			Message: fmt.Sprintf(
+				"tensor.%s (%s) couples artifact-producing code to the fast-math kernel; strict mode is the determinism contract — keep fast mode in bench/throughput callers",
+				name, how),
+		})
+		return true
+	})
+	return out
+}
+
+// fastMathCallee returns the fast-math entry point name when call targets
+// one, preferring typed resolution (survives import aliasing) and falling
+// back to a syntactic match against the tensor import when type info is
+// degraded. The bool reports which path matched.
+func fastMathCallee(f *File, call *ast.CallExpr) (string, bool) {
+	if fn := f.CalleeFunc(call); fn != nil {
+		if fastMathFuncs[fn.Name()] && pkgPathHasSuffix(funcPkgPath(fn), "internal/tensor") {
+			return fn.Name(), true
+		}
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fastMathFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != tensorImportName(f.AST) {
+		return "", false
+	}
+	return sel.Sel.Name, false
+}
+
+// tensorImportName returns the local name binding an internal/tensor import
+// in f, or "" when none is imported.
+func tensorImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.HasSuffix(path, "internal/tensor") {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			return imp.Name.Name
+		}
+		return "tensor"
+	}
+	return ""
+}

@@ -118,6 +118,7 @@ func All() []Analyzer {
 		RNGEscape{},
 		LockedCall{},
 		ArtifactOrder{},
+		FastMath{},
 	}
 }
 

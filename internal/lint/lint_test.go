@@ -48,6 +48,7 @@ func TestFixtures(t *testing.T) {
 		"rngescape.go":     {"rngescape"},
 		"lockedcall.go":    {"lockedcall"},
 		"artifactorder.go": {"artifactorder"},
+		"fastmath.go":      {"fastmath"},
 		"rawclock.go":      {"rawclock", "rawclock"},
 		"clean.go":      nil,
 		"suppressed.go": nil,

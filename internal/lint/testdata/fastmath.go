@@ -1,0 +1,12 @@
+package fixtures
+
+import "repro/internal/tensor"
+
+// fastmath: toggling the AVX2/FMA kernel from code that feeds the bitwise
+// artifact gates breaks the determinism contract — exactly one finding, on
+// the SetFastMath call. The guarded restore keeps the fixture honest about
+// the idiom being flagged (even put-it-back toggling is forbidden here).
+func speedUpRound() {
+	prev := tensor.SetFastMath(true) // want: fastmath toggle in contract code
+	_ = prev
+}

@@ -7,17 +7,26 @@ import (
 )
 
 // Conv2D is a 2-D convolution over batch-first [batch, inC, H, W] tensors,
-// implemented as im2col + GEMM. Weight has logical shape
-// [outC, inC, kh, kw] so that width-slicing (HeteroFL) can take nested
-// channel prefixes along both channel dimensions.
+// implemented as implicit GEMM (tensor.ConvGemm/ConvGemmBack): the packed
+// kernel's B panels are gathered straight from the input image, so the
+// im2col column matrix — formerly the largest scratch-arena consumer, one
+// batch·kdim·cols buffer pinned from Forward to Backward — is never
+// materialized and the layer retains no scratch between steps. Weight has
+// logical shape [outC, inC, kh, kw] so that width-slicing (HeteroFL) can
+// take nested channel prefixes along both channel dimensions.
 //
-// All scratch is arena-backed and sized to the live batch: the im2col
-// matrices are one Scratch released after Backward (or immediately after an
-// eval Forward), so retained memory shrinks when batches do, and per-chunk
-// gradient accumulators come from the arena instead of per-call make. The
-// output and input-gradient tensors are layer-owned and reused (valid until
-// the layer's next Forward/Backward). Steady-state forward+backward does
-// zero heap allocations.
+// 1×1 stride-1 unpadded convolutions skip the gather entirely: im2col is the
+// identity layout there (TestIm2ColIdentityKernel), so forward and backward
+// route straight to Gemm on the image data.
+//
+// Backward re-reads the input recorded by the last Forward(train=true). The
+// ownership contract (docs/PERF.md) already guarantees the input stays valid
+// through the backward pass: a layer's output is reused only by that layer's
+// next Forward, which cannot run before this layer's Backward in any
+// training loop, including repeated Backward calls under deep supervision.
+// The output and input-gradient tensors are layer-owned and reused (valid
+// until the layer's next Forward/Backward). Steady-state forward+backward
+// does zero heap allocations.
 type Conv2D struct {
 	InC, OutC  int
 	KH, KW     int
@@ -28,10 +37,10 @@ type Conv2D struct {
 	inH, inW   int
 	outH, outW int
 	batch      int
+	trained    bool // last Forward ran train=true; fwdX is valid for Backward
 
-	colsBuf *tensor.Scratch // im2col matrices for the current batch, [batch][kdim*cols]
-	y       *tensor.Tensor  // reused output
-	dx      *tensor.Tensor  // reused input gradient
+	y  *tensor.Tensor // reused output
+	dx *tensor.Tensor // reused input gradient
 
 	// Per-call state threaded through struct fields so the parallel bodies
 	// can be allocated once: closures handed to the ParallelFor kernels
@@ -43,6 +52,12 @@ type Conv2D struct {
 	bwdBody func(chunk, s, e int)
 	dwParts []*tensor.Scratch // per-chunk weight-gradient partials
 	dbParts []*tensor.Scratch // per-chunk bias-gradient partials
+
+	// wpack holds the weight panels for the duration of one Forward or
+	// Backward call (packed once per batch, shared read-only by the
+	// per-sample GEMMs, released before returning — never retained between
+	// steps).
+	wpack tensor.ConvWeights
 }
 
 // NewConv2D creates a convolution with He initialization.
@@ -54,6 +69,21 @@ func NewConv2D(rng *tensor.RNG, inC, outC, kernel, stride, pad int) *Conv2D {
 	}
 	rng.FillHe(c.Weight.W, inC*kernel*kernel)
 	return c
+}
+
+// geom returns the tensor-layer geometry of the current input shape.
+func (c *Conv2D) geom() tensor.ConvGeom {
+	return tensor.ConvGeom{
+		Channels: c.InC, Height: c.inH, Width: c.inW,
+		KH: c.KH, KW: c.KW, Stride: c.Stride, Pad: c.Pad,
+	}
+}
+
+// pointwise reports whether the convolution is 1×1 stride-1 unpadded, for
+// which the im2col lowering is the identity: the column matrix IS the input
+// image, so both directions are plain GEMMs on the stored data.
+func (c *Conv2D) pointwise() bool {
+	return c.KH == 1 && c.KW == 1 && c.Stride == 1 && c.Pad == 0
 }
 
 // Forward applies the convolution. Samples are processed in parallel; each
@@ -68,22 +98,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outH = tensor.ConvOutSize(c.inH, c.KH, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(c.inW, c.KW, c.Stride, c.Pad)
 	c.batch = batch
-	kdim := c.InC * c.KH * c.KW
-	cols := c.outH * c.outW
-	tensor.PutScratch(c.colsBuf) // previous batch's matrices, if any
-	c.colsBuf = tensor.GetScratch(batch * kdim * cols)
 	c.y = reuse4(c.y, batch, c.OutC, c.outH, c.outW)
 	c.fwdX = x
+	c.trained = train
 	if c.fwdBody == nil {
 		c.fwdBody = func(b int) {
-			kdim := c.InC * c.KH * c.KW
 			cols := c.outH * c.outW
 			inStride := c.InC * c.inH * c.inW
 			outStride := c.OutC * cols
-			col := c.colsBuf.Data[b*kdim*cols : (b+1)*kdim*cols]
-			tensor.Im2Col(c.fwdX.Data[b*inStride:(b+1)*inStride], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, col)
+			xb := c.fwdX.Data[b*inStride : (b+1)*inStride]
 			out := c.y.Data[b*outStride : (b+1)*outStride]
-			tensor.Gemm(false, false, c.OutC, cols, kdim, 1, c.Weight.W.Data, col, 0, out)
+			if c.pointwise() {
+				tensor.Gemm(false, false, c.OutC, cols, c.InC, 1, c.Weight.W.Data, xb, 0, out)
+			} else {
+				c.wpack.Conv(xb, out)
+			}
 			for oc := 0; oc < c.OutC; oc++ {
 				bias := c.Bias.W.Data[oc]
 				orow := out[oc*cols : (oc+1)*cols]
@@ -93,22 +122,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	tensor.ParallelForAtomic(batch, c.fwdBody)
-	if !train {
-		// No Backward coming: release the im2col matrices now instead of
-		// pinning a batch's worth of scratch through evaluation.
-		tensor.PutScratch(c.colsBuf)
-		c.colsBuf = nil
+	if !c.pointwise() {
+		c.wpack.PackFwd(c.Weight.W.Data, c.OutC, c.geom())
 	}
+	tensor.ParallelForAtomic(batch, c.fwdBody)
+	c.wpack.Release()
 	return c.y
 }
 
 // Backward accumulates weight/bias gradients and returns the input gradient.
-// It reads the im2col matrices recorded by the last Forward(train=true);
-// they stay valid for repeated Backward calls (deep-supervision backprops a
-// shared trunk once per exit) and are released by the next Forward.
+// It re-gathers panels from the input recorded by the last
+// Forward(train=true); that input stays valid for repeated Backward calls
+// (deep-supervision backprops a shared trunk once per exit) under the layer
+// ownership contract.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if c.colsBuf == nil {
+	if !c.trained {
 		panic("nn: Conv2D.Backward without a preceding Forward(train=true)")
 	}
 	batch := c.batch
@@ -137,14 +165,21 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			inStride := c.InC * c.inH * c.inW
 			dw := tensor.GetScratch(c.OutC * kdim)
 			db := tensor.GetScratch(c.OutC)
-			dcol := tensor.GetScratch(kdim * cols)
 			dw.Zero()
 			db.Zero()
 			for b := s; b < e; b++ {
 				g := c.bwdGrad.Data[b*outStride : (b+1)*outStride]
-				// dW += g · colᵀ
-				col := c.colsBuf.Data[b*kdim*cols : (b+1)*kdim*cols]
-				tensor.Gemm(false, true, c.OutC, kdim, cols, 1, g, col, 1, dw.Data)
+				xb := c.fwdX.Data[b*inStride : (b+1)*inStride]
+				dxb := c.dx.Data[b*inStride : (b+1)*inStride]
+				if c.pointwise() {
+					// dW += g · xᵀ and dx = Wᵀ · g directly: identical to the
+					// column-matrix calls because im2col (and the col2im
+					// scatter, one contribution per pixel) is the identity.
+					tensor.Gemm(false, true, c.OutC, kdim, cols, 1, g, xb, 1, dw.Data)
+					tensor.Gemm(true, false, kdim, cols, c.OutC, 1, c.Weight.W.Data, g, 0, dxb)
+				} else {
+					c.wpack.ConvBack(xb, g, dw.Data, dxb)
+				}
 				for oc := 0; oc < c.OutC; oc++ {
 					var sum float32
 					for _, v := range g[oc*cols : (oc+1)*cols] {
@@ -152,20 +187,16 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 					}
 					db.Data[oc] += sum
 				}
-				// dcol = Wᵀ · g
-				tensor.Gemm(true, false, kdim, cols, c.OutC, 1, c.Weight.W.Data, g, 0, dcol.Data)
-				dxb := c.dx.Data[b*inStride : (b+1)*inStride]
-				for i := range dxb {
-					dxb[i] = 0
-				}
-				tensor.Col2Im(dcol.Data, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dxb)
 			}
 			c.dwParts[chunk] = dw
 			c.dbParts[chunk] = db
-			tensor.PutScratch(dcol)
 		}
 	}
+	if !c.pointwise() {
+		c.wpack.PackBwd(c.Weight.W.Data, c.OutC, c.geom())
+	}
 	used := tensor.ParallelForChunks(batch, c.bwdBody)
+	c.wpack.Release()
 	for chunk := 0; chunk < used; chunk++ {
 		tensor.Axpy(1, c.dwParts[chunk].Data, c.Weight.G.Data)
 		tensor.Axpy(1, c.dbParts[chunk].Data, c.Bias.G.Data)

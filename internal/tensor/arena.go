@@ -1,6 +1,9 @@
 package tensor
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Scratch is a pooled float32 buffer drawn from the package arena. Contents
 // are unspecified on Get; every consumer must fully overwrite (or explicitly
@@ -25,6 +28,42 @@ const (
 
 var scratchPools [scratchMaxBits - scratchMinBits + 1]sync.Pool
 
+// Outstanding-bytes accounting: every live Scratch contributes its backing
+// capacity (the full size class, or the exact length for oversized buffers)
+// between Get and Put. The peak watermark is what nebula-bench reports as
+// peak_scratch_bytes — the measured footprint of a kernel's working set —
+// and what proved the implicit-GEMM conv deleted the column matrix rather
+// than just relocating it. Plain atomics: two adds and a CAS loop per
+// Get/Put, no locks, no allocations, never read by kernel code.
+var (
+	scratchLiveBytes atomic.Int64
+	scratchPeakBytes atomic.Int64
+)
+
+// scratchAcquired records n live bytes and advances the peak watermark.
+func scratchAcquired(n int64) {
+	live := scratchLiveBytes.Add(n)
+	for {
+		peak := scratchPeakBytes.Load()
+		if live <= peak || scratchPeakBytes.CompareAndSwap(peak, live) {
+			return
+		}
+	}
+}
+
+// ScratchLiveBytes returns the bytes currently held by un-Put Scratch
+// buffers. Zero means every consumer returned its scratch — the steady-state
+// invariant the conv/GEMM paths are tested against.
+func ScratchLiveBytes() int64 { return scratchLiveBytes.Load() }
+
+// ScratchPeakBytes returns the high-water mark of live scratch bytes since
+// the last ResetScratchPeak.
+func ScratchPeakBytes() int64 { return scratchPeakBytes.Load() }
+
+// ResetScratchPeak rebases the peak watermark to the current live total so a
+// benchmark can measure the footprint of just its own region of interest.
+func ResetScratchPeak() { scratchPeakBytes.Store(scratchLiveBytes.Load()) }
+
 // scratchClass returns the smallest class whose capacity holds n elements,
 // or -1 when n exceeds the largest class.
 func scratchClass(n int) int {
@@ -44,8 +83,10 @@ func GetScratch(n int) *Scratch {
 	class := scratchClass(n)
 	if class < 0 {
 		scratchOversize.Inc()
+		scratchAcquired(4 * int64(n))
 		return &Scratch{Data: make([]float32, n), class: -1}
 	}
+	scratchAcquired(4 << class)
 	if s, ok := scratchPools[class-scratchMinBits].Get().(*Scratch); ok && s != nil {
 		scratchHit.Inc()
 		s.Data = s.Data[:n]
@@ -59,9 +100,14 @@ func GetScratch(n int) *Scratch {
 // the call. Put of a nil scratch is a no-op so teardown paths can be
 // unconditional.
 func PutScratch(s *Scratch) {
-	if s == nil || s.class < 0 {
+	if s == nil {
 		return
 	}
+	if s.class < 0 {
+		scratchLiveBytes.Add(-4 * int64(len(s.Data)))
+		return
+	}
+	scratchLiveBytes.Add(-4 << s.class)
 	s.Data = s.Data[:0]
 	scratchPools[s.class-scratchMinBits].Put(s)
 }

@@ -53,32 +53,61 @@ func Col2Im(cols []float32, channels, height, width, kh, kw, stride, pad int, ds
 	outH := (height+2*pad-kh)/stride + 1
 	outW := (width+2*pad-kw)/stride + 1
 	nc := outH * outW
+	// The (oy, ox) coordinates whose tap lands inside the image form a
+	// contiguous range per (ky, kx), so the ranges are clamped up front and
+	// the inner loop is branch-free; out-of-range taps contributed nothing
+	// before, and the in-range taps are visited in the same order, so the
+	// accumulation into each dst element is bitwise unchanged.
 	row := 0
 	for c := 0; c < channels; c++ {
 		chanBase := c * height * width
 		for ky := 0; ky < kh; ky++ {
+			loY, hiY := convTapRange(outH, height, stride, pad, ky)
 			for kx := 0; kx < kw; kx++ {
+				loX, hiX := convTapRange(outW, width, stride, pad, kx)
 				crow := cols[row*nc : row*nc+nc]
-				i := 0
-				for oy := 0; oy < outH; oy++ {
-					sy := oy*stride - pad + ky
-					if sy < 0 || sy >= height {
-						i += outW
-						continue
-					}
-					rowBase := chanBase + sy*width
-					for ox := 0; ox < outW; ox++ {
-						sx := ox*stride - pad + kx
-						if sx >= 0 && sx < width {
-							dst[rowBase+sx] += crow[i]
+				for oy := loY; oy < hiY; oy++ {
+					rowBase := chanBase + (oy*stride-pad+ky)*width
+					i := oy * outW
+					if stride == 1 {
+						d := dst[rowBase+loX+kx-pad:]
+						for j, v := range crow[i+loX : i+hiX] {
+							d[j] += v
 						}
-						i++
+					} else {
+						sx := loX*stride - pad + kx
+						for ox := loX; ox < hiX; ox++ {
+							dst[rowBase+sx] += crow[i+ox]
+							sx += stride
+						}
 					}
 				}
 				row++
 			}
 		}
 	}
+}
+
+// convTapRange returns the half-open range [lo, hi) of output coordinates
+// whose kernel tap k lands inside [0, size): lo·stride−pad+k ≥ 0 and
+// (hi−1)·stride−pad+k < size.
+func convTapRange(outSize, size, stride, pad, k int) (lo, hi int) {
+	if d := pad - k; d > 0 {
+		lo = (d + stride - 1) / stride
+		if lo > outSize {
+			lo = outSize
+		}
+	}
+	if d := size + pad - k; d > 0 {
+		hi = (d + stride - 1) / stride
+		if hi > outSize {
+			hi = outSize
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return
 }
 
 // ConvOutSize returns the spatial output size of a convolution/pooling with

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// No x86 feature probing off amd64: fast-math mode is amd64-only, so the
+// flags stay false and SetFastMath(true) refuses.
+var cpuHasSSE42, cpuHasAVX, cpuHasAVX2, cpuHasFMA bool

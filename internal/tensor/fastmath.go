@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"runtime"
+	"strings"
+)
+
+// Fast-math mode. The strict micro-kernel (gemm_amd64.s / goGemmKernel6x8)
+// keeps every multiply and add a separately rounded IEEE float32 operation so
+// packed GEMM stays bitwise identical to the reference ordering — that is the
+// contract all artifact-producing paths (-seed-audit, fig1a/fig1b/fig9, the
+// fed/experiments determinism gates) are pinned against. The AVX2/FMA kernel
+// (gemm_avx2_amd64.s) fuses each multiply-add, which is both faster and
+// *more* accurate per step (the product is kept at infinite precision before
+// the add) but rounds differently, so it can never be the default.
+//
+// SetFastMath(true) opts a process into the FMA kernel, and only succeeds on
+// hardware with AVX2+FMA and OS-enabled YMM state. It is for benchmarking and
+// throughput-only workloads; the `fastmath` nebula-lint check keeps calls out
+// of the determinism-contract packages, and ci.sh/-seed-audit never enable
+// it. Differential coverage lives in fastmath_test.go: fast-vs-strict within
+// a stated relative tolerance, never bitwise.
+
+// fastKernel routes microKernel (pack.go) to the AVX2/FMA kernel. A plain
+// bool: toggling while kernels are running is a data race and is not
+// supported — flip it only between steps.
+var fastKernel bool
+
+// strictAVX selects the 256-bit strict kernel (gemm_avx_amd64.s) — the same
+// single-rounded mul-then-add chain per C element as the SSE kernel, eight
+// lanes wide, so the choice is invisible to every bitwise gate. Set once at
+// package init (cpu_amd64.go) when the CPU and OS support AVX; never toggled
+// afterwards.
+var strictAVX bool
+
+// FastMath reports whether the fast AVX2/FMA kernel is currently selected.
+func FastMath() bool { return fastKernel }
+
+// SetFastMath selects (on=true) or deselects the AVX2/FMA micro-kernel and
+// reports whether fast mode is active after the call. Enabling fails — and
+// the strict kernel stays — on hardware without AVX2 and FMA. Not safe to
+// call concurrently with running kernels.
+func SetFastMath(on bool) bool {
+	fastKernel = on && cpuHasAVX2 && cpuHasFMA
+	return fastKernel
+}
+
+// FastMathSupported reports whether this CPU can run the fast kernel at all;
+// tests use it to skip the AVX2 differential cleanly on other hardware.
+func FastMathSupported() bool { return cpuHasAVX2 && cpuHasFMA }
+
+// CPUFeatures returns the detected SIMD feature set as a provenance string
+// for bench reports, e.g. "sse4.2+avx2+fma"; "baseline" when none of the
+// probed features are present (or off amd64).
+func CPUFeatures() string {
+	feats := make([]string, 0, 4)
+	if cpuHasSSE42 {
+		feats = append(feats, "sse4.2")
+	}
+	if cpuHasAVX {
+		feats = append(feats, "avx")
+	}
+	if cpuHasAVX2 {
+		feats = append(feats, "avx2")
+	}
+	if cpuHasFMA {
+		feats = append(feats, "fma")
+	}
+	if len(feats) == 0 {
+		return "baseline"
+	}
+	return strings.Join(feats, "+")
+}
+
+// KernelMode names the micro-kernel the next GEMM will run, for bench
+// provenance: "fast-avx2", "strict-avx", "strict-sse", or "strict-portable".
+func KernelMode() string {
+	if fastKernel {
+		return "fast-avx2"
+	}
+	if strictAVX {
+		return "strict-avx"
+	}
+	if haveAsmKernel {
+		return "strict-sse"
+	}
+	return "strict-portable-" + runtime.GOARCH
+}

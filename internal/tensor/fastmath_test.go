@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastMathRefusesWithoutAVX2 pins the gate: on hardware without AVX2+FMA
+// (or off amd64) fast mode must refuse and the strict kernel stays active.
+func TestFastMathRefusesWithoutAVX2(t *testing.T) {
+	if FastMathSupported() {
+		t.Skip("host has AVX2+FMA; the refusal path is exercised elsewhere")
+	}
+	if SetFastMath(true) {
+		t.Fatal("SetFastMath(true) claimed success without AVX2+FMA")
+	}
+	if FastMath() {
+		t.Fatal("FastMath() reports fast mode active after a refused enable")
+	}
+	if KernelMode() == "fast-avx2" {
+		t.Fatal("KernelMode() reports the AVX2 kernel after a refused enable")
+	}
+}
+
+// TestFastMathDifferential compares the AVX2/FMA kernel against the strict
+// kernel within a relative tolerance. FMA keeps each product unrounded before
+// its add, so fast results are not bitwise equal to strict — but every
+// element's summation chain is identical, so the difference is bounded by
+// accumulated rounding: |fast−strict| ≤ tol·(k+1)·max|terms|. Skips cleanly
+// on hardware without AVX2+FMA.
+func TestFastMathDifferential(t *testing.T) {
+	if !FastMathSupported() {
+		t.Skip("host lacks AVX2+FMA; fast kernel not selectable")
+	}
+	if FastMath() {
+		t.Fatal("fast mode unexpectedly active at test entry")
+	}
+	defer SetFastMath(false)
+
+	rng := rand.New(rand.NewSource(21))
+	shapes := [][3]int{
+		{6, 8, 16},     // single full tile
+		{64, 256, 576}, // bench conv shape
+		{13, 17, 19},   // edge tiles in both dimensions
+		{48, 64, 32},
+	}
+	for _, sz := range shapes {
+		m, n, k := sz[0], sz[1], sz[2]
+		for _, tb := range []bool{false, true} {
+			for _, beta := range []float32{0, 1} {
+				a := make([]float32, m*k)
+				b := make([]float32, k*n)
+				base := make([]float32, m*n)
+				fillRand(rng, a)
+				fillRand(rng, b)
+				fillRand(rng, base)
+
+				SetFastMath(false)
+				strict := append([]float32(nil), base...)
+				gemmPacked(false, tb, m, n, k, a, b, beta, strict)
+
+				if !SetFastMath(true) {
+					t.Fatal("SetFastMath(true) failed on supported hardware")
+				}
+				fast := append([]float32(nil), base...)
+				gemmPacked(false, tb, m, n, k, a, b, beta, fast)
+				SetFastMath(false)
+
+				// Inputs are in (−1,1), so each of the k products is < 1 in
+				// magnitude and the chain-wide rounding error is ≤ ~(k+2)
+				// ulps of the running magnitude; 1e-5·(k+2) is a loose cover
+				// for float32.
+				tol := 1e-5 * float64(k+2)
+				for i := range strict {
+					diff := math.Abs(float64(fast[i]) - float64(strict[i]))
+					scale := math.Max(1, math.Abs(float64(strict[i])))
+					if diff/scale > tol {
+						t.Fatalf("m=%d n=%d k=%d transB=%v beta=%v: fast[%d]=%v vs strict %v (rel %g > tol %g)",
+							m, n, k, tb, beta, i, fast[i], strict[i], diff/scale, tol)
+					}
+				}
+				// The kernels must actually differ somewhere for a nontrivial
+				// k, or the dispatch is not reaching the FMA kernel at all.
+				if k >= 16 {
+					same := true
+					for i := range strict {
+						if fast[i] != strict[i] {
+							same = false
+							break
+						}
+					}
+					if same {
+						t.Errorf("m=%d n=%d k=%d transB=%v beta=%v: fast output bitwise equal to strict — AVX2 kernel not dispatched?", m, n, k, tb, beta)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastMathConvDifferential runs the implicit conv forward under fast mode
+// against the strict result, within the same tolerance model.
+func TestFastMathConvDifferential(t *testing.T) {
+	if !FastMathSupported() {
+		t.Skip("host lacks AVX2+FMA; fast kernel not selectable")
+	}
+	defer SetFastMath(false)
+
+	g := ConvGeom{Channels: 16, Height: 16, Width: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	outC := 32
+	rng := rand.New(rand.NewSource(31))
+	w := make([]float32, outC*g.Kdim())
+	src := make([]float32, g.Channels*g.Height*g.Width)
+	fillRand(rng, w)
+	fillRand(rng, src)
+
+	SetFastMath(false)
+	strict := make([]float32, outC*g.Cols())
+	ConvGemm(w, outC, src, g, strict)
+
+	SetFastMath(true)
+	fast := make([]float32, outC*g.Cols())
+	ConvGemm(w, outC, src, g, fast)
+	SetFastMath(false)
+
+	tol := 1e-5 * float64(g.Kdim()+2)
+	for i := range strict {
+		diff := math.Abs(float64(fast[i]) - float64(strict[i]))
+		scale := math.Max(1, math.Abs(float64(strict[i])))
+		if diff/scale > tol {
+			t.Fatalf("conv fast[%d]=%v vs strict %v (rel %g > tol %g)", i, fast[i], strict[i], diff/scale, tol)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+//go:build amd64
+
+package tensor
+
+// kernelFast6x8 is the fast-math micro-kernel: the AVX2/FMA tile loop.
+// Reachable only through microKernel with fastKernel set, which SetFastMath
+// refuses to do unless the CPU has AVX2+FMA.
+func kernelFast6x8(a, b, c []float32, k, ldc, mode int) {
+	gemmKernel6x8AVX2(&a[0], &b[0], &c[0], k, ldc, mode)
+}
+
+//go:noescape
+func gemmKernel6x8AVX2(a, b, c *float32, k, ldc, mode int)

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// kernelFast6x8 is unreachable off amd64 — SetFastMath(true) refuses without
+// AVX2+FMA — but the dispatcher needs the symbol; alias the strict kernel.
+func kernelFast6x8(a, b, c []float32, k, ldc, mode int) {
+	kernel6x8(a, b, c, k, ldc, mode)
+}

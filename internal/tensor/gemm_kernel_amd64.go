@@ -9,10 +9,17 @@ const haveAsmKernel = true
 
 // kernel6x8 computes one mr×nr C tile from packed panels; see
 // goGemmKernel6x8 for the mode contract. SSE2 is part of the amd64 baseline,
-// so this path needs no CPU-feature probing.
+// so the fallback path needs no CPU-feature probing.
 func kernel6x8(a, b, c []float32, k, ldc, mode int) {
+	if strictAVX {
+		gemmKernel6x8AVX(&a[0], &b[0], &c[0], k, ldc, mode)
+		return
+	}
 	gemmKernel6x8SSE(&a[0], &b[0], &c[0], k, ldc, mode)
 }
 
 //go:noescape
 func gemmKernel6x8SSE(a, b, c *float32, k, ldc, mode int)
+
+//go:noescape
+func gemmKernel6x8AVX(a, b, c *float32, k, ldc, mode int)

@@ -12,6 +12,9 @@ var (
 	gemmPackedCount = obs.Default().Counter("nebula_tensor_gemm_total", "path", "packed")
 	gemmNaiveCount  = obs.Default().Counter("nebula_tensor_gemm_total", "path", "naive")
 
+	convImplicitCount = obs.Default().Counter("nebula_tensor_conv_total", "path", "implicit")
+	convRefCount      = obs.Default().Counter("nebula_tensor_conv_total", "path", "ref")
+
 	scratchHit      = obs.Default().Counter("nebula_tensor_scratch_total", "outcome", "hit")
 	scratchMiss     = obs.Default().Counter("nebula_tensor_scratch_total", "outcome", "miss")
 	scratchOversize = obs.Default().Counter("nebula_tensor_scratch_total", "outcome", "oversize")
@@ -27,6 +30,7 @@ var (
 func init() {
 	r := obs.Default()
 	r.Help("nebula_tensor_gemm_total", "GEMM dispatches, by kernel path taken.")
+	r.Help("nebula_tensor_conv_total", "Convolution GEMM dispatches: implicit = fused-gather path, ref = im2col oracle.")
 	r.Help("nebula_tensor_scratch_total", "Scratch-arena requests: hit = pooled buffer reused, miss = fresh allocation, oversize = above the largest size class.")
 	r.Help("nebula_tensor_parallel_total", "Parallel kernel dispatches, by kernel and serial-vs-fanout mode.")
 }

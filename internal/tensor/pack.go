@@ -50,16 +50,33 @@ func packA(a []float32, m, k int, transA bool, dst []float32) {
 					dp[r] = 0
 				}
 			}
-		} else {
-			for r := 0; r < rows; r++ {
-				src := a[(i0+r)*k:]
-				for p := 0; p < k; p++ {
-					dst[base+p*mr+r] = src[p]
-				}
+		} else if rows == mr {
+			// Row-major source: walk p outer so the mr-wide destination
+			// slices are written contiguously; the six source rows stay
+			// cache-resident across the sweep.
+			r0 := a[(i0+0)*k:]
+			r1 := a[(i0+1)*k:]
+			r2 := a[(i0+2)*k:]
+			r3 := a[(i0+3)*k:]
+			r4 := a[(i0+4)*k:]
+			r5 := a[(i0+5)*k:]
+			for p := 0; p < k; p++ {
+				dp := dst[base+p*mr : base+p*mr+mr]
+				dp[0] = r0[p]
+				dp[1] = r1[p]
+				dp[2] = r2[p]
+				dp[3] = r3[p]
+				dp[4] = r4[p]
+				dp[5] = r5[p]
 			}
-			for r := rows; r < mr; r++ {
-				for p := 0; p < k; p++ {
-					dst[base+p*mr+r] = 0
+		} else {
+			for p := 0; p < k; p++ {
+				dp := dst[base+p*mr : base+p*mr+mr]
+				for r := 0; r < rows; r++ {
+					dp[r] = a[(i0+r)*k+p]
+				}
+				for r := rows; r < mr; r++ {
+					dp[r] = 0
 				}
 			}
 		}
@@ -144,6 +161,22 @@ func goGemmKernel6x8(a, b, c []float32, k, ldc, mode int) {
 	}
 }
 
+// microKernel is the dispatch point runTiles drives: the strict kernel6x8
+// (bitwise-pinned against goGemmKernel6x8) by default, or the AVX2/FMA
+// variant while fast mode is on (fastmath.go). The dispatch is a branch on a
+// plain bool rather than a function variable so both callees stay direct
+// calls — an indirect call would defeat the //go:noescape annotation on the
+// assembly kernels and push runTiles' stack staging tile to the heap.
+// fastKernel is not an atomic: SetFastMath documents that toggling it
+// concurrently with running kernels is not allowed.
+func microKernel(a, b, c []float32, k, ldc, mode int) {
+	if fastKernel {
+		kernelFast6x8(a, b, c, k, ldc, mode)
+		return
+	}
+	kernel6x8(a, b, c, k, ldc, mode)
+}
+
 // gemmDesc carries one packed-GEMM invocation across the worker pool; pooled
 // so the parallel path allocates nothing per call.
 type gemmDesc struct {
@@ -188,7 +221,7 @@ func (d *gemmDesc) runTiles(it0, it1, jt0, jt1 int) {
 			}
 			ap := d.pa[it*mr*d.k:]
 			if rows == mr && cols == nr {
-				kernel6x8(ap, bp, d.c[i0*d.n+j0:], d.k, d.n, d.mode)
+				microKernel(ap, bp, d.c[i0*d.n+j0:], d.k, d.n, d.mode)
 				continue
 			}
 			// Edge tile: stage through the stack tile with ldc=nr, then
@@ -200,12 +233,12 @@ func (d *gemmDesc) runTiles(it0, it1, jt0, jt1 int) {
 				for r := 0; r < rows; r++ {
 					copy(tile[r*nr:r*nr+cols], d.c[(i0+r)*d.n+j0:(i0+r)*d.n+j0+cols])
 				}
-				kernel6x8(ap, bp, tile[:], d.k, nr, 2)
+				microKernel(ap, bp, tile[:], d.k, nr, 2)
 				for r := 0; r < rows; r++ {
 					copy(d.c[(i0+r)*d.n+j0:(i0+r)*d.n+j0+cols], tile[r*nr:r*nr+cols])
 				}
 			case 1:
-				kernel6x8(ap, bp, tile[:], d.k, nr, 0)
+				microKernel(ap, bp, tile[:], d.k, nr, 0)
 				for r := 0; r < rows; r++ {
 					crow := d.c[(i0+r)*d.n+j0 : (i0+r)*d.n+j0+cols]
 					trow := tile[r*nr : r*nr+cols]
@@ -214,7 +247,7 @@ func (d *gemmDesc) runTiles(it0, it1, jt0, jt1 int) {
 					}
 				}
 			default:
-				kernel6x8(ap, bp, tile[:], d.k, nr, 0)
+				microKernel(ap, bp, tile[:], d.k, nr, 0)
 				for r := 0; r < rows; r++ {
 					copy(d.c[(i0+r)*d.n+j0:(i0+r)*d.n+j0+cols], tile[r*nr:r*nr+cols])
 				}
@@ -247,8 +280,23 @@ func gemmPacked(transA, transB bool, m, n, k int, a, b []float32, beta float32, 
 		}
 	}
 
+	runPacked(sa.Data, sb.Data, c, m, n, k, mode)
+	PutScratch(sa)
+	PutScratch(sb)
+}
+
+// runPacked sweeps one packed invocation (pre-packed panels pa/pb into C)
+// through the band grid. Shared by gemmPacked and the implicit-GEMM conv
+// entry points (implicit.go), which differ only in how the panels were
+// filled — the grid partition, worker fan-out, and summation chains are
+// identical, so anything pre-packed to the pack.go layout inherits the
+// bitwise-reproducibility contract.
+func runPacked(pa, pb, c []float32, m, n, k, mode int) {
+	mTiles := (m + mr - 1) / mr
+	nTiles := (n + nr - 1) / nr
+
 	d := gemmDescPool.Get().(*gemmDesc)
-	d.pa, d.pb, d.c = sa.Data, sb.Data, c
+	d.pa, d.pb, d.c = pa, pb, c
 	d.m, d.n, d.k, d.mode = m, n, k, mode
 	d.mTiles, d.nTiles = mTiles, nTiles
 
@@ -287,6 +335,4 @@ func gemmPacked(transA, transB bool, m, n, k int, a, b []float32, beta float32, 
 
 	d.pa, d.pb, d.c = nil, nil, nil
 	gemmDescPool.Put(d)
-	PutScratch(sa)
-	PutScratch(sb)
 }

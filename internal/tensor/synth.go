@@ -1,0 +1,66 @@
+package tensor
+
+// GemmSynthBands prepares a packed m×n×k GEMM (deterministically filled
+// operands, arena-backed panels) and returns one closure per band of the 2-D
+// band grid that runPacked would schedule at Parallelism = procs, plus a
+// release func that returns the scratch to the arena. Bands own disjoint C
+// regions and each band closure runs its tile sweep serially, so timing the
+// closures one at a time and taking the longest as the makespan is an honest
+// model of the grid's scaling on a procs-core machine: the partition is a
+// pure function of (m, n, procs), not of the core count of the machine the
+// measurement happens to run on. nebula-parbench uses this for the synthetic
+// GOMAXPROCS scaling table in BENCH_parallel.json — a 1- or 2-CPU box can
+// still measure whether the grid yields balanced ≥4-way slack.
+//
+// The serial cutovers runPacked applies (minParallelWork, nested-parallelism
+// depth) are deliberately not modeled: the point is the shape of the grid
+// itself. This package cannot read the wall clock (nebula-lint rawclock), so
+// the timing loop lives with the caller.
+func GemmSynthBands(m, n, k, procs int) (bands []func(), release func()) {
+	if m <= 0 || n <= 0 || k <= 0 || procs < 1 {
+		panic("tensor: GemmSynthBands requires positive m, n, k and procs >= 1")
+	}
+	rng := NewRNG(11)
+	a := New(m, k)
+	b := New(k, n)
+	c := New(m, n)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+
+	mTiles := (m + mr - 1) / mr
+	nTiles := (n + nr - 1) / nr
+	sa := GetScratch(mTiles * mr * k)
+	sb := GetScratch(nTiles * nr * k)
+	packA(a.Data, m, k, false, sa.Data)
+	packB(b.Data, k, n, false, sb.Data)
+
+	d := &gemmDesc{
+		pa: sa.Data, pb: sb.Data, c: c.Data,
+		m: m, n: n, k: k, mode: 0,
+		mTiles: mTiles, nTiles: nTiles,
+	}
+	// Same grid arithmetic as runPacked's parallel branch.
+	gm := procs
+	if gm > mTiles {
+		gm = mTiles
+	}
+	gn := procs / gm
+	if gn > nTiles {
+		gn = nTiles
+	}
+	if gn < 1 {
+		gn = 1
+	}
+	d.gm, d.gn = gm, gn
+
+	bands = make([]func(), gm*gn)
+	for i := range bands {
+		band := i
+		bands[i] = func() { d.runBand(band) }
+	}
+	release = func() {
+		PutScratch(sa)
+		PutScratch(sb)
+	}
+	return bands, release
+}
