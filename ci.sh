@@ -103,6 +103,31 @@ go run ./cmd/nebula-sim -exp straggler -devices 6 -proxy 8 -steps 2 \
     -seed-audit >/dev/null
 rm -rf "$asynctmp"
 
+echo "== wire-compression gate (compress experiment: >=2x traffic cut at bounded accuracy delta, counters exact; artifacts identical for -workers 1 vs 4)"
+comptmp=$(mktemp -d)
+# The compress experiment runs one seeded adaptation twice — exact float32
+# transfers vs the wire-format v2 codec (docs/PROTOCOL.md) — and prints a
+# machine-checkable verdict: traffic ratio >= 2, accuracy within epsilon,
+# and the Costs ledger exactly equal to trace.Summarize in both runs.
+for w in 1 4; do
+    go run ./cmd/nebula-sim -exp compress -devices 8 -proxy 8 -rounds 3 \
+        -per-round 6 -pretrain-epochs 1 -local-epochs 1 -seed 5 \
+        -workers "$w" >"$comptmp/w$w.out" 2>/dev/null
+done
+grep -q 'compress-gate: PASS' "$comptmp/w1.out" || {
+    grep 'compress-gate:' "$comptmp/w1.out" >&2 || true
+    echo "ci: wire-format v2 did not cut traffic >=2x at bounded accuracy delta with exact counters" >&2
+    exit 1
+}
+cmp "$comptmp/w1.out" "$comptmp/w4.out" || {
+    echo "ci: compress experiment output differs between -workers 1 and -workers 4" >&2
+    exit 1
+}
+go run ./cmd/nebula-sim -exp compress -devices 8 -proxy 8 -rounds 3 \
+    -per-round 6 -pretrain-epochs 1 -local-epochs 1 -seed 5 \
+    -seed-audit >/dev/null
+rm -rf "$comptmp"
+
 echo "== admin plane gate (live /healthz, /metrics, pprof; scrapes byte-stable at quiescence)"
 admtmp=$(mktemp -d)
 # Build a real binary: `go run` interposes a parent process, so the sim could

@@ -75,6 +75,9 @@ func main() {
 	flag.Float64Var(&opt.AsyncDeadline, "async-deadline", 0, "per-round sim-time deadline in seconds for -async (0 = auto-calibrate to 2x the first round's median device time)")
 	flag.Float64Var(&opt.StalenessDecay, "staleness-decay", 0, "weight multiplier per round of staleness for late updates in -async (0 = default 0.5)")
 	flag.IntVar(&opt.Stragglers, "stragglers", opt.Stragglers, "devices pinned at maximum contention in the straggler experiment's dynamic fleet")
+	flag.BoolVar(&opt.WireCompress, "wire", false, "run online-stage sub-model exchanges through the wire-format v2 codec (docs/PROTOCOL.md): delta-quantized transfers with exact encoded-size accounting")
+	flag.Float64Var(&opt.WireTopK, "wire-topk", 0, "keep only this fraction of uplink delta coordinates under -wire (0 = dense)")
+	flag.BoolVar(&opt.WireF16, "wire-f16", false, "float16 codes instead of int8 under -wire")
 	flag.BoolVar(&opt.Verbose, "v", false, "print progress lines")
 	flag.BoolVar(&opt.Points, "points", false, "also dump figures' raw data columns")
 	flag.Parse()

@@ -73,6 +73,12 @@ type EdgeClient struct {
 	// Redial reopens the transport after a failure. Dial installs a TCP
 	// redialer; pipe clients may set one (tests do) or live without retries.
 	Redial func() (io.ReadWriteCloser, error)
+	// MaxProto caps the protocol version this client offers at Hello time
+	// (0 = ProtoV2). Tests pin it to ProtoV1 to prove mixed-version interop.
+	MaxProto int
+	// WireOpts tunes the v2 payload codec (chunk size, float16, top-k
+	// sparsification for delta pushes). Zero value: dense int8, 1024-chunk.
+	WireOpts WireOpts
 
 	codec  *Codec
 	closer io.Closer
@@ -80,6 +86,8 @@ type EdgeClient struct {
 	rng    *rand.Rand    // jitter; lazily seeded from Policy.Seed and DeviceID
 	seq    int64         // PushUpdate round tag (see Request.Seq)
 	stats  RetryStats
+	proto  int      // negotiated protocol version; 0 until Hello succeeds (acts as v1)
+	ref    *WireRef // reconstruction of the last v2 sub-model fetch (delta base)
 
 	// traffic accumulated over connections torn down by reconnects.
 	pastIn, pastOut int64
@@ -168,6 +176,15 @@ func (c *EdgeClient) RetryStats() RetryStats { return c.stats }
 // safe to retry: Hello/FetchSubModel/Stats/Shutdown are idempotent reads,
 // and PushUpdate is round-tagged so the server dedupes replays.
 func (c *EdgeClient) call(req *Request) (*Response, error) {
+	resp, _, err := c.callChunks(req, nil)
+	return resp, err
+}
+
+// callChunks is call plus the v2 chunk streams: out frames are written after
+// the request envelope, and a response that announces a payload has its
+// frames read back. The returned payload is fully assembled (header +
+// chunks) or nil.
+func (c *EdgeClient) callChunks(req *Request, out []WireChunk) (*Response, *WirePayload, error) {
 	attempts := c.Policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -190,7 +207,7 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 					// a backoff and burning the remaining attempts.
 					c.stats.Timeouts++
 					clientMetrics.timeouts.Inc()
-					return nil, fmt.Errorf("%w after %d attempts: %v", ErrCallDeadline, attempt, lastErr)
+					return nil, nil, fmt.Errorf("%w after %d attempts: %v", ErrCallDeadline, attempt, lastErr)
 				}
 			}
 			c.backoff(attempt, remaining)
@@ -201,35 +218,41 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 			c.stats.Retries++
 			clientMetrics.retries.Inc()
 		}
-		req.Attempt = attempt
+		// Work on a private copy: the caller's Request is input, not scratch
+		// space. Mutating it here (the old code stamped req.Attempt in place)
+		// leaks retry state into whatever the caller does with the struct
+		// next — including re-issuing it as a supposedly fresh request.
+		r := *req
+		r.Attempt = attempt
+		to := time.Duration(0)
 		if c.dl != nil && c.Policy.CallTimeout > 0 {
-			to := c.Policy.CallTimeout
+			to = c.Policy.CallTimeout
 			if !expire.IsZero() {
 				if rem := time.Until(expire); rem < to {
 					to = rem // an attempt may not outlive the whole-call budget
 				}
 			}
-			_ = c.dl.SetReadDeadline(time.Now().Add(to))  //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
-			_ = c.dl.SetWriteDeadline(time.Now().Add(to)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
 		sw := obs.StartTimer()
 		inBefore, outBefore := c.codec.Traffic()
-		resp, err := c.codec.Call(req)
+		resp, pay, err := c.exchange(&r, out, to)
 		if c.dl != nil && c.Policy.CallTimeout > 0 {
 			_ = c.dl.SetReadDeadline(time.Time{})
 			_ = c.dl.SetWriteDeadline(time.Time{})
 		}
-		if err == nil {
+		if err == nil || resp != nil {
+			// The exchange completed — either cleanly or as a server-side
+			// application error (resp non-nil means a full round trip
+			// happened; the transport is fine and a retry would just repeat
+			// the rejection). Both outcomes moved real bytes and took real
+			// time, so both are observed: skipping the error path (as the
+			// old code did) silently dropped every rejected RPC from the
+			// latency and size histograms.
 			in, out := c.codec.Traffic()
 			clientMetrics.reqBytes[req.Kind].Observe(float64(out - outBefore))
 			clientMetrics.rspBytes[req.Kind].Observe(float64(in - inBefore))
 			clientMetrics.rpcSeconds[req.Kind].ObserveSince(sw)
-			return resp, nil
-		}
-		if resp != nil {
-			// The server replied with an application error; the transport
-			// is fine and a retry would just repeat the rejection.
-			return resp, err
+			return resp, pay, err
 		}
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
@@ -238,7 +261,56 @@ func (c *EdgeClient) call(req *Request) (*Response, error) {
 		}
 		lastErr = err
 	}
-	return nil, lastErr
+	return nil, nil, lastErr
+}
+
+// exchange performs one request/response round trip including v2 chunk
+// streams. Deadlines (when to > 0 and the transport supports them) re-arm
+// before every frame, so the timeout bounds one stalled frame rather than
+// requiring the whole payload to fit inside it.
+func (c *EdgeClient) exchange(req *Request, out []WireChunk, to time.Duration) (*Response, *WirePayload, error) {
+	arm := func(read bool) {
+		if c.dl == nil || to <= 0 {
+			return
+		}
+		if read {
+			_ = c.dl.SetReadDeadline(time.Now().Add(to)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+		} else {
+			_ = c.dl.SetWriteDeadline(time.Now().Add(to)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+		}
+	}
+	arm(false)
+	arm(true)
+	if err := c.codec.Send(req); err != nil {
+		return nil, nil, fmt.Errorf("edgenet: send: %w", err)
+	}
+	for i := range out {
+		arm(false)
+		if err := c.codec.Send(&out[i]); err != nil {
+			return nil, nil, fmt.Errorf("edgenet: send chunk %d/%d: %w", i+1, len(out), err)
+		}
+	}
+	var resp Response
+	if err := c.codec.Recv(&resp); err != nil {
+		return nil, nil, fmt.Errorf("edgenet: recv: %w", err)
+	}
+	var pay *WirePayload
+	if resp.OK && resp.Payload != nil {
+		if resp.Payload.Chunks < 0 || resp.Payload.Chunks > maxWireChunks {
+			return nil, nil, fmt.Errorf("edgenet: response announces %d chunks", resp.Payload.Chunks)
+		}
+		pay = &WirePayload{Header: *resp.Payload, Chunks: make([]WireChunk, resp.Payload.Chunks)}
+		for i := range pay.Chunks {
+			arm(true)
+			if err := c.codec.Recv(&pay.Chunks[i]); err != nil {
+				return nil, nil, fmt.Errorf("edgenet: recv chunk %d/%d: %w", i+1, len(pay.Chunks), err)
+			}
+		}
+	}
+	if !resp.OK {
+		return &resp, nil, fmt.Errorf("edgenet: remote error: %s", resp.Error)
+	}
+	return &resp, pay, nil
 }
 
 // backoff sleeps base·2^(attempt−1) capped at MaxDelay, plus seeded jitter.
@@ -286,12 +358,36 @@ func (c *EdgeClient) reconnect() error {
 	return nil
 }
 
-// Hello fetches the current unified selector into the local skeleton. Run
-// once after connecting; the device then scores module importance locally.
+// maxProto is the highest protocol version this client offers.
+func (c *EdgeClient) maxProto() int {
+	if c.MaxProto > 0 {
+		return c.MaxProto
+	}
+	return ProtoV2
+}
+
+// Proto reports the negotiated protocol version (ProtoV1 before Hello).
+func (c *EdgeClient) Proto() int {
+	if c.proto < ProtoV1 {
+		return ProtoV1
+	}
+	return c.proto
+}
+
+// Hello fetches the current unified selector into the local skeleton and
+// negotiates the protocol version: the client offers its maximum, the server
+// answers with min(client, server), and every later request carries that
+// version. Until Hello succeeds the client speaks plain v1 — it must never
+// emit v2 chunk frames at a peer that has not agreed to parse them. Run once
+// after connecting; the device then scores module importance locally.
 func (c *EdgeClient) Hello() error {
-	resp, err := c.call(&Request{Kind: KindHello, DeviceID: c.DeviceID})
+	resp, err := c.call(&Request{Kind: KindHello, DeviceID: c.DeviceID, Proto: c.maxProto()})
 	if err != nil {
 		return err
+	}
+	c.proto = resp.Proto
+	if c.proto < ProtoV1 { // pre-handshake server: field absent = v1
+		c.proto = ProtoV1
 	}
 	// A malformed reply must not panic the device loop (mirrors the
 	// server's safeLoad guard for uploads).
@@ -314,21 +410,42 @@ func safeLoadSelector(sel *modular.Selector, vec []float32) (err error) {
 }
 
 // FetchSubModel asks the cloud to derive a personalized sub-model for the
-// given importance/budget and instantiates it locally.
+// given importance/budget and instantiates it locally. On a v2 link the
+// parameters arrive as a chunk-streamed quantized payload — delta-encoded
+// against the previous fetch whenever the server still holds the matching
+// reference — and the decoded reconstruction becomes the client's new delta
+// base for both the next fetch and the next push.
 func (c *EdgeClient) FetchSubModel(importance [][]float64, budget modular.Budget) (*modular.SubModel, error) {
-	resp, err := c.call(&Request{
+	req := &Request{
 		Kind:       KindGetSubModel,
 		DeviceID:   c.DeviceID,
+		Proto:      c.proto,
 		Importance: importance,
 		Budget:     FromBudget(budget),
 		Quant:      c.Quantize,
-	})
+	}
+	if c.proto >= ProtoV2 && c.ref != nil {
+		req.HaveVer = c.ref.Version
+	}
+	resp, pay, err := c.callChunks(req, nil)
 	if err != nil {
 		return nil, err
 	}
 	sub := c.Skeleton.Extract(resp.Active)
 	vec := resp.Backbone
-	if len(resp.BackboneQ) > 0 {
+	if pay != nil {
+		var base []float32
+		if pay.Header.Delta {
+			if c.ref == nil || c.ref.Version != pay.Header.BaseVer {
+				return nil, fmt.Errorf("edgenet: fetch: delta against version %d, which this client does not hold", pay.Header.BaseVer)
+			}
+			base = c.ref.Vec
+		}
+		if vec, err = DecodeVec(pay, base); err != nil {
+			return nil, fmt.Errorf("edgenet: fetch: %w", err)
+		}
+		c.ref = &WireRef{Version: pay.Header.Version, Mapping: resp.Active, Vec: vec}
+	} else if len(resp.BackboneQ) > 0 {
 		vec = nn.DequantizeChunks(resp.BackboneQ)
 	}
 	if err := safeLoad(sub, vec); err != nil {
@@ -340,15 +457,45 @@ func (c *EdgeClient) FetchSubModel(importance [][]float64, budget modular.Budget
 // PushUpdate uploads a locally trained sub-model with its importance scores
 // and aggregation weight. Each update carries a monotonic Seq; a retry
 // resends the same Seq, and the server applies at most once.
+//
+// On a v2 link the backbone travels as a chunk-streamed quantized payload,
+// delta-encoded (with optional top-k sparsification, WireOpts.TopK) against
+// the reconstruction of the last fetch when the mapping is unchanged. If the
+// server no longer holds that reference it answers NeedFull, and the same
+// update — same Seq — is re-sent once as a full payload.
 func (c *EdgeClient) PushUpdate(sub *modular.SubModel, importance [][]float64, weight float64) error {
 	c.seq++
 	req := &Request{
 		Kind:       KindPushUpdate,
 		DeviceID:   c.DeviceID,
+		Proto:      c.proto,
 		Seq:        c.seq,
 		Active:     sub.Mapping,
 		Importance: importance,
 		Weight:     weight,
+	}
+	if c.proto >= ProtoV2 {
+		vec := sub.BackboneVector()
+		var base []float32
+		var baseVer uint64
+		if c.ref != nil && MappingEqual(c.ref.Mapping, sub.Mapping) {
+			base, baseVer = c.ref.Vec, c.ref.Version
+		}
+		p := EncodeVec(vec, base, c.WireOpts)
+		p.Header.BaseVer = baseVer
+		req.Payload = &p.Header
+		resp, _, err := c.callChunks(req, p.Chunks)
+		if resp != nil && resp.NeedFull {
+			// The server lost our reference (restart, cache eviction). The
+			// update itself is fine — re-send it whole under the same Seq.
+			c.ref = nil
+			clientMetrics.wireFallbacks.Inc()
+			full := EncodeVec(vec, nil, c.WireOpts)
+			req.Payload = &full.Header
+			_, _, err = c.callChunks(req, full.Chunks)
+			return err
+		}
+		return err
 	}
 	if c.Quantize {
 		req.BackboneQ = nn.QuantizeChunks(sub.BackboneVector(), 1024)

@@ -68,6 +68,7 @@ func TestFetchSubModelMatchesCloud(t *testing.T) {
 	skeleton := buildModel(3) // same seed: identical architecture, same init
 	srv := NewServer(cloud, 1)
 	cl := pipePair(t, srv, skeleton)
+	cl.MaxProto = ProtoV1 // the v1 contract is bit-exact transfer; v2 closeness has its own tests
 	if err := cl.Hello(); err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,11 @@ type serverMetrics struct {
 
 	subModelsServed, updatesReceived, aggregations *obs.Counter
 
+	// Wire-format v2: payload encodings by kind, plus the raw/compressed
+	// ratio actually achieved (≥1 means the payload beat raw float32).
+	wireFull, wireDelta, wireFallbacks *obs.Counter
+	wireRatio                          *obs.Histogram
+
 	rpcSeconds         map[MsgKind]*obs.Histogram
 	reqBytes, rspBytes map[MsgKind]*obs.Histogram
 }
@@ -62,6 +67,8 @@ func newServerMetrics() *serverMetrics {
 	r.Help("nebula_edgenet_server_aggregations_total", "Module-wise aggregations performed.")
 	r.Help("nebula_edgenet_server_rpc_seconds", "Server-side request handling latency (decode to flushed response), by kind.")
 	r.Help("nebula_edgenet_server_payload_bytes", "Wire size of one request (dir=in) or response (dir=out), by kind.")
+	r.Help("nebula_edgenet_server_wire_total", "Wire-format v2 payload encodings: full, delta, or delta rejected for a stale base (fallback).")
+	r.Help("nebula_edgenet_server_wire_compression_ratio", "Raw float32 bytes divided by v2 payload wire bytes, per encoded payload.")
 	m := &serverMetrics{
 		reg:             r,
 		bytesIn:         r.Counter("nebula_edgenet_server_traffic_bytes_total", "dir", "in"),
@@ -74,6 +81,10 @@ func newServerMetrics() *serverMetrics {
 		subModelsServed: r.Counter("nebula_edgenet_server_submodels_served_total"),
 		updatesReceived: r.Counter("nebula_edgenet_server_updates_received_total"),
 		aggregations:    r.Counter("nebula_edgenet_server_aggregations_total"),
+		wireFull:        r.Counter("nebula_edgenet_server_wire_total", "encoding", "full"),
+		wireDelta:       r.Counter("nebula_edgenet_server_wire_total", "encoding", "delta"),
+		wireFallbacks:   r.Counter("nebula_edgenet_server_wire_total", "encoding", "fallback"),
+		wireRatio:       r.Histogram("nebula_edgenet_server_wire_compression_ratio", obs.ExpBuckets(1, 1.5, 12)),
 		rpcSeconds:      map[MsgKind]*obs.Histogram{},
 		reqBytes:        map[MsgKind]*obs.Histogram{},
 		rspBytes:        map[MsgKind]*obs.Histogram{},
@@ -94,6 +105,9 @@ type clientMetricsT struct {
 	reqBytes, rspBytes map[MsgKind]*obs.Histogram
 
 	retries, reconnects, timeouts *obs.Counter
+	// wireFallbacks counts delta pushes the server bounced with NeedFull,
+	// each re-sent as a full payload.
+	wireFallbacks *obs.Counter
 }
 
 func newClientMetrics(r *obs.Registry) *clientMetricsT {
@@ -104,9 +118,10 @@ func newClientMetrics(r *obs.Registry) *clientMetricsT {
 		rpcSeconds: map[MsgKind]*obs.Histogram{},
 		reqBytes:   map[MsgKind]*obs.Histogram{},
 		rspBytes:   map[MsgKind]*obs.Histogram{},
-		retries:    r.Counter("nebula_edgenet_client_events_total", "event", "retry"),
-		reconnects: r.Counter("nebula_edgenet_client_events_total", "event", "reconnect"),
-		timeouts:   r.Counter("nebula_edgenet_client_events_total", "event", "timeout"),
+		retries:       r.Counter("nebula_edgenet_client_events_total", "event", "retry"),
+		reconnects:    r.Counter("nebula_edgenet_client_events_total", "event", "reconnect"),
+		timeouts:      r.Counter("nebula_edgenet_client_events_total", "event", "timeout"),
+		wireFallbacks: r.Counter("nebula_edgenet_client_events_total", "event", "wire_fallback"),
 	}
 	for _, k := range allKinds {
 		m.rpcSeconds[k] = r.Histogram("nebula_edgenet_client_rpc_seconds", obs.DefBuckets, "kind", kindName(k))

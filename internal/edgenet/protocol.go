@@ -47,19 +47,35 @@ type Request struct {
 	// monotonically and resends the same Seq on retry, so the server can
 	// dedupe replays (at-most-once application). 0 means untagged.
 	Seq int64
+	// Proto is the protocol version this request speaks. On Hello it is the
+	// highest version the client supports; afterwards it is the negotiated
+	// version. 0 reads as ProtoV1 — requests from pre-handshake clients are
+	// indistinguishable from v1, which is the point: gob skips unknown
+	// fields, so v1 peers interoperate without ever seeing v2 framing.
+	Proto int
 
 	// GetSubModel fields.
 	Importance [][]float64
 	Budget     BudgetMsg
 	// Quant asks the cloud to 8-bit-quantize the sub-model payload
-	// (~4× smaller transfers at bounded reconstruction error).
+	// (~4× smaller transfers at bounded reconstruction error). v1 only; the
+	// v2 wire format always quantizes.
 	Quant bool
+	// HaveVer is the version of the client's cached sub-model reconstruction
+	// (0 = none); a v2 server that still holds the matching reference sends
+	// a delta payload instead of full parameters.
+	HaveVer uint64
 
 	// PushUpdate fields.
 	Active    [][]int
 	Backbone  []float32
-	BackboneQ []nn.Quantized8 // quantized alternative to Backbone
+	BackboneQ []nn.Quantized8 // v1 quantized alternative to Backbone
 	Weight    float64
+	// Payload, when set, announces a v2 chunk-streamed upload: exactly
+	// Payload.Chunks WireChunk frames follow this envelope on the stream.
+	// Only sent after Hello negotiated ProtoV2 — a v1 server would misread
+	// the chunk frames as its next Request.
+	Payload *WireHeader
 }
 
 // BudgetMsg mirrors modular.Budget for the wire (kept separate so protocol
@@ -88,14 +104,23 @@ type Response struct {
 	// Deduped marks a PushUpdate reply for an update the server had already
 	// applied (a replayed Seq); the retry succeeded but changed nothing.
 	Deduped bool
+	// NeedFull rejects a delta PushUpdate whose base version the server no
+	// longer holds; the client re-sends the same update (same Seq) as a full
+	// payload. Never set on success.
+	NeedFull bool
 
 	// Hello reply.
 	Selector []float32
+	// Proto is the negotiated protocol version: min(client's, server's).
+	Proto int
 
 	// GetSubModel reply.
 	Active    [][]int
 	Backbone  []float32
-	BackboneQ []nn.Quantized8 // set instead of Backbone when quantized
+	BackboneQ []nn.Quantized8 // v1: set instead of Backbone when quantized
+	// Payload, when set, announces a v2 chunk-streamed sub-model: exactly
+	// Payload.Chunks WireChunk frames follow this envelope.
+	Payload *WireHeader
 
 	// Stats reply.
 	Stats Stats
@@ -115,6 +140,11 @@ type Stats struct {
 	Resets        int64 // connections that died mid-stream (not clean EOF)
 	Dedups        int64 // replayed PushUpdates dropped by Seq dedup
 	AcceptRetries int64 // transient accept-loop errors survived
+
+	// Wire-format v2 counters (docs/PROTOCOL.md "Wire format v2").
+	WireFull      int64 // v2 payloads sent/accepted as full (no usable reference)
+	WireDelta     int64 // v2 payloads delta-encoded against a cached reference
+	WireFallbacks int64 // delta uploads rejected with NeedFull (stale reference)
 }
 
 // countingConn wraps a stream and counts bytes both ways.

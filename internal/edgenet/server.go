@@ -28,13 +28,25 @@ type Server struct {
 	// Close's wg.Wait forever. 0 disables the deadline.
 	ReadTimeout time.Duration
 	// WriteTimeout bounds one response send (a client that stops reading
-	// otherwise wedges the handler). 0 disables the deadline.
+	// otherwise wedges the handler). 0 disables the deadline. For v2 chunk
+	// streams the deadline re-arms before every chunk, so it bounds one
+	// frame, not the whole payload — one slow link cannot pin a handler for
+	// payload-size-proportional time.
 	WriteTimeout time.Duration
+	// MaxProto caps the protocol version this server negotiates (0 =
+	// ProtoV2). Tests pin it to ProtoV1 to prove mixed-version interop.
+	MaxProto int
 
 	mu      sync.Mutex
 	pending []*modular.Update
 	lastSeq map[int]int64 // deviceID → highest applied PushUpdate Seq
 	conns   map[net.Conn]struct{}
+	// wireRefs is the per-device delta-coding cache: the bit-exact
+	// reconstruction of the last v2 sub-model served to each device, under
+	// the version counter wireVer. Entries are immutable once stored
+	// (replaced wholesale), so handlers may read Vec outside s.mu.
+	wireRefs map[int]*WireRef
+	wireVer  uint64
 
 	// metrics is the per-server obs registry — the single source of truth
 	// for the protocol counters. StatsSnapshot and KindStats render views of
@@ -59,8 +71,32 @@ func NewServer(model *modular.Model, aggregateEvery int) *Server {
 		closed:         make(chan struct{}),
 		lastSeq:        map[int]int64{},
 		conns:          map[net.Conn]struct{}{},
+		wireRefs:       map[int]*WireRef{},
 		metrics:        newServerMetrics(),
 	}
+}
+
+// maxProto is the highest protocol version this server speaks.
+func (s *Server) maxProto() int {
+	if s.MaxProto > 0 {
+		return s.MaxProto
+	}
+	return ProtoV2
+}
+
+// reqProto resolves the effective protocol version of one request: what the
+// client announced, capped by what this server speaks. Stateless per request,
+// so client reconnects (fresh connection, same negotiated version) need no
+// re-handshake.
+func (s *Server) reqProto(req *Request) int {
+	p := req.Proto
+	if p < ProtoV1 {
+		p = ProtoV1
+	}
+	if m := s.maxProto(); p > m {
+		p = m
+	}
+	return p
 }
 
 // Listen starts accepting connections on addr (e.g. ":7070" or "127.0.0.1:0")
@@ -197,19 +233,40 @@ func (s *Server) ServeConn(rw interface {
 			return
 		}
 		sw := obs.StartTimer()
+		// A v2 upload streams its chunk frames right behind the envelope;
+		// they are part of this request, so they arrive before the request
+		// size is observed and before the handler runs.
+		inPay, err := s.recvChunks(codec, dl, req.Payload)
+		if err != nil {
+			s.noteConnError("recv", err)
+			return
+		}
 		in, _ := codec.Traffic()
 		s.metrics.reqBytes[req.Kind].Observe(float64(in - prevIn))
 		prevIn = in
 		if req.Attempt > 0 {
 			s.metrics.retries.Inc()
 		}
-		resp := s.handle(&req)
+		resp, outPay := s.handle(&req, inPay)
 		if dl != nil && s.WriteTimeout > 0 {
 			_ = dl.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
 		if err := codec.Send(resp); err != nil {
 			s.noteConnError("send", err)
 			return
+		}
+		if outPay != nil {
+			for i := range outPay.Chunks {
+				if dl != nil && s.WriteTimeout > 0 {
+					// Re-arm per chunk: the deadline bounds one frame, not
+					// the whole payload.
+					_ = dl.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+				}
+				if err := codec.Send(&outPay.Chunks[i]); err != nil {
+					s.noteConnError("send", err)
+					return
+				}
+			}
 		}
 		_, out := codec.Traffic()
 		s.metrics.rspBytes[req.Kind].Observe(float64(out - prevOut))
@@ -219,6 +276,32 @@ func (s *Server) ServeConn(rw interface {
 			return
 		}
 	}
+}
+
+// maxWireChunks bounds how many chunk frames one request may announce — a
+// corrupt or hostile header must not pin the handler in a frame loop.
+const maxWireChunks = 1 << 20
+
+// recvChunks drains the chunk frames a v2 envelope announced, re-arming the
+// read deadline before each frame so one stalled chunk — not the whole
+// payload — is what the timeout bounds.
+func (s *Server) recvChunks(codec *Codec, dl connDeadliner, h *WireHeader) (*WirePayload, error) {
+	if h == nil {
+		return nil, nil
+	}
+	if h.Chunks < 0 || h.Chunks > maxWireChunks {
+		return nil, fmt.Errorf("edgenet: payload announces %d chunks", h.Chunks)
+	}
+	p := &WirePayload{Header: *h, Chunks: make([]WireChunk, h.Chunks)}
+	for i := range p.Chunks {
+		if dl != nil && s.ReadTimeout > 0 {
+			_ = dl.SetReadDeadline(time.Now().Add(s.ReadTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
+		}
+		if err := codec.Recv(&p.Chunks[i]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // noteConnError classifies a connection teardown into the Stats counters:
@@ -238,48 +321,51 @@ func (s *Server) noteConnError(op string, err error) {
 	}
 }
 
-func (s *Server) handle(req *Request) *Response {
+// handle dispatches one request. A non-nil second return is a v2 chunk
+// stream ServeConn writes after the response envelope.
+func (s *Server) handle(req *Request, pay *WirePayload) (*Response, *WirePayload) {
 	switch req.Kind {
 	case KindHello:
 		s.mu.Lock()
 		vec := s.Model.Selector.Vector()
 		s.mu.Unlock()
-		s.logf("device %d hello; selector %d floats", req.DeviceID, len(vec))
-		return &Response{OK: true, Selector: vec}
+		proto := s.reqProto(req)
+		s.logf("device %d hello (proto %d); selector %d floats", req.DeviceID, proto, len(vec))
+		return &Response{OK: true, Selector: vec, Proto: proto}, nil
 
 	case KindGetSubModel:
-		resp, err := s.serveSubModel(req)
+		resp, out, err := s.serveSubModel(req)
 		if err != nil {
-			return &Response{Error: err.Error()}
+			return &Response{Error: err.Error()}, nil
 		}
-		return resp
+		return resp, out
 
 	case KindPushUpdate:
-		deduped, err := s.acceptUpdate(req)
+		resp, err := s.acceptUpdate(req, pay)
 		if err != nil {
-			return &Response{Error: err.Error()}
+			return &Response{Error: err.Error()}, nil
 		}
-		return &Response{OK: true, Deduped: deduped}
+		return resp, nil
 
 	case KindStats:
-		return &Response{OK: true, Stats: s.StatsSnapshot()}
+		return &Response{OK: true, Stats: s.StatsSnapshot()}, nil
 
 	case KindShutdown:
-		return &Response{OK: true}
+		return &Response{OK: true}, nil
 
 	default:
-		return &Response{Error: fmt.Sprintf("unknown message kind %d", req.Kind)}
+		return &Response{Error: fmt.Sprintf("unknown message kind %d", req.Kind)}, nil
 	}
 }
 
-func (s *Server) serveSubModel(req *Request) (resp *Response, err error) {
+func (s *Server) serveSubModel(req *Request) (resp *Response, out *WirePayload, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			resp, err = nil, fmt.Errorf("malformed request: %v", r)
+			resp, out, err = nil, nil, fmt.Errorf("malformed request: %v", r)
 		}
 	}()
 	if len(req.Importance) != len(s.Model.Layers) {
-		return nil, errors.New("importance layer count mismatch")
+		return nil, nil, errors.New("importance layer count mismatch")
 	}
 	// Hold the model lock only for derivation and the parameter snapshot;
 	// Extract copies parameters into a private SubModel, so quantization and
@@ -298,18 +384,65 @@ func (s *Server) serveSubModel(req *Request) (resp *Response, err error) {
 	s.metrics.subModelsServed.Inc()
 	s.logf("device %d sub-model: %d modules, %d B", req.DeviceID, sub.NumModules(), sub.BackboneBytes())
 	resp = &Response{OK: true, Active: active}
+	if s.reqProto(req) >= ProtoV2 {
+		out = s.encodeServe(req, active, sub.BackboneVector())
+		resp.Payload = &out.Header
+		return resp, out, nil
+	}
 	if req.Quant {
 		resp.BackboneQ = nn.QuantizeChunks(sub.BackboneVector(), 1024)
 	} else {
 		resp.Backbone = sub.BackboneVector()
 	}
-	return resp, nil
+	return resp, nil, nil
 }
 
-func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
+// encodeServe builds the v2 downlink payload for one sub-model serve: delta
+// against the device's cached reference when the client still holds the same
+// version and the mapping is structurally unchanged, full otherwise. It also
+// advances the cache — the new reference is the *reconstruction* the client
+// will decode, so both ends stay bit-identical.
+func (s *Server) encodeServe(req *Request, active [][]int, vec []float32) *WirePayload {
+	var base []float32
+	var baseVer uint64
+	s.mu.Lock()
+	ref := s.wireRefs[req.DeviceID]
+	if ref != nil && req.HaveVer != 0 && ref.Version == req.HaveVer && MappingEqual(ref.Mapping, active) {
+		base, baseVer = ref.Vec, ref.Version
+	}
+	s.wireVer++
+	ver := s.wireVer
+	s.mu.Unlock()
+
+	// Quantization and reconstruction are CPU work on private data — outside
+	// the lock, like the rest of this handler.
+	p := EncodeVec(vec, base, WireOpts{}) // downlink stays dense: every coordinate is authoritative
+	p.Header.BaseVer = baseVer
+	p.Header.Version = ver
+	recon, err := DecodeVec(p, base)
+	if err != nil {
+		// Cannot happen for a payload this function just built; fall back to
+		// a full payload rather than caching a broken reference.
+		p = EncodeVec(vec, nil, WireOpts{})
+		p.Header.Version = ver
+		recon, _ = DecodeVec(p, nil)
+	}
+	if p.Header.Delta {
+		s.metrics.wireDelta.Inc()
+	} else {
+		s.metrics.wireFull.Inc()
+	}
+	s.metrics.wireRatio.Observe(float64(int64(len(vec))*4) / float64(p.WireBytes()))
+	s.mu.Lock()
+	s.wireRefs[req.DeviceID] = &WireRef{Version: ver, Mapping: active, Vec: recon}
+	s.mu.Unlock()
+	return p
+}
+
+func (s *Server) acceptUpdate(req *Request, pay *WirePayload) (resp *Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			deduped, err = false, fmt.Errorf("malformed update: %v", r)
+			resp, err = nil, fmt.Errorf("malformed update: %v", r)
 		}
 	}()
 	// Dequantization is CPU-heavy and depends only on the request, so it
@@ -320,6 +453,32 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 	if len(req.BackboneQ) > 0 {
 		vec = nn.DequantizeChunks(req.BackboneQ)
 	}
+	if pay != nil {
+		var base []float32
+		if pay.Header.Delta {
+			s.mu.Lock()
+			ref := s.wireRefs[req.DeviceID]
+			if ref != nil && ref.Version == pay.Header.BaseVer && MappingEqual(ref.Mapping, req.Active) {
+				base = ref.Vec // immutable once cached; safe to read unlocked
+			}
+			s.mu.Unlock()
+			if base == nil {
+				// The reference this delta was coded against is gone (server
+				// restart, mapping drift). Not a failure of the update —
+				// ask the client to resend it whole.
+				s.metrics.wireFallbacks.Inc()
+				s.logf("device %d delta push against unknown base %d; requesting full", req.DeviceID, pay.Header.BaseVer)
+				return &Response{Error: "stale wire reference; resend full payload", NeedFull: true}, nil
+			}
+			s.metrics.wireDelta.Inc()
+		} else {
+			s.metrics.wireFull.Inc()
+		}
+		vec, err = DecodeVec(pay, base)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// At-most-once application: a retried PushUpdate carries the Seq of the
@@ -328,24 +487,24 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 	if req.Seq != 0 && req.Seq <= s.lastSeq[req.DeviceID] {
 		s.metrics.dedups.Inc()
 		s.logf("device %d replayed update seq %d (deduped)", req.DeviceID, req.Seq)
-		return true, nil
+		return &Response{OK: true, Deduped: true}, nil
 	}
 	if len(req.Active) != len(s.Model.Layers) {
-		return false, errors.New("active layer count mismatch")
+		return nil, errors.New("active layer count mismatch")
 	}
 	for l, idx := range req.Active {
 		for _, i := range idx {
 			if i < 0 || i >= s.Model.Layers[l].N() {
-				return false, fmt.Errorf("active[%d] references module %d of %d", l, i, s.Model.Layers[l].N())
+				return nil, fmt.Errorf("active[%d] references module %d of %d", l, i, s.Model.Layers[l].N())
 			}
 		}
 	}
 	sub := s.Model.Extract(req.Active)
 	if loadErr := safeLoad(sub, vec); loadErr != nil {
-		return false, loadErr
+		return nil, loadErr
 	}
 	if len(req.Importance) != len(s.Model.Layers) {
-		return false, errors.New("importance layer count mismatch")
+		return nil, errors.New("importance layer count mismatch")
 	}
 	if req.Seq != 0 {
 		s.lastSeq[req.DeviceID] = req.Seq
@@ -358,7 +517,7 @@ func (s *Server) acceptUpdate(req *Request) (deduped bool, err error) {
 		s.metrics.aggregations.Inc()
 		s.logf("aggregated round %d", int64(s.metrics.aggregations.Value()))
 	}
-	return false, nil
+	return &Response{OK: true}, nil
 }
 
 // FlushAggregation forces aggregation of buffered updates (end of a round).
@@ -388,6 +547,9 @@ func (s *Server) StatsSnapshot() Stats {
 		Resets:          int64(m.resets.Value()),
 		Dedups:          int64(m.dedups.Value()),
 		AcceptRetries:   int64(m.acceptRetries.Value()),
+		WireFull:        int64(m.wireFull.Value()),
+		WireDelta:       int64(m.wireDelta.Value()),
+		WireFallbacks:   int64(m.wireFallbacks.Value()),
 	}
 }
 

@@ -25,7 +25,7 @@ func micro() Options {
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"fig1a", "fig1b", "fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "ablations", "faults", "straggler"}
+	want := []string{"fig1a", "fig1b", "fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "ablations", "faults", "straggler", "compress"}
 	have := map[string]bool{}
 	for _, r := range Registry() {
 		have[r.ID] = true

@@ -104,6 +104,12 @@ func Registry() []Runner {
 			r.FprintGate(o.Out)
 			return nil
 		}},
+		{"compress", "Wire-format v2 — exact vs delta-quantized sub-model exchange (beyond the paper)", func(o Options) error {
+			r := RunCompress(o)
+			r.Table.Fprint(o.Out)
+			r.FprintGate(o.Out)
+			return nil
+		}},
 	}
 }
 

@@ -68,6 +68,23 @@ type Config struct {
 	// decay^staleness, where staleness is the number of rounds between launch
 	// and landing. 0 means the default 0.5.
 	StalenessDecay float64
+
+	// WireCompress runs Nebula's simulated edge-cloud link through the
+	// edgenet wire-format v2 codec (docs/PROTOCOL.md "Wire format v2"):
+	// sub-model exchanges are chunk-quantized and delta-encoded against the
+	// previous transfer, BytesDown/BytesUp charge the exact encoded wire
+	// size, and devices train on the lossy reconstructions — so both the
+	// traffic savings and the accuracy cost of compression are real,
+	// measured effects. Off by default (exact float32 transfers, analytic
+	// 4 B/element accounting).
+	WireCompress bool
+	// WireTopK in (0,1) keeps only that fraction of uplink delta
+	// coordinates (deterministic top-k by |value|). 0 = dense uplink.
+	WireTopK float64
+	// WireChunk is the codec chunk size in elements (0 = 1024).
+	WireChunk int
+	// WireF16 selects float16 codes over the default int8.
+	WireF16 bool
 }
 
 // DefaultConfig mirrors the paper's parameter settings.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/data"
+	"repro/internal/edgenet"
 	"repro/internal/modular"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -76,6 +77,11 @@ type Nebula struct {
 	subs       map[int]*modular.SubModel
 	imps       map[int][][]float64
 	hasGatePkg map[int]bool // devices that already hold the selector
+	// wireRefs holds the per-device delta-coding reference for the simulated
+	// v2 link (cfg.WireCompress; internal/fed/wire.go): the reconstruction of
+	// the device's last downlink, shared by both ends of the in-process
+	// "wire". Snapshotted in prepRound, written back in commitDevice.
+	wireRefs map[int]*edgenet.WireRef
 
 	// async holds the semi-async coordinator state (cfg.Async; docs/ASYNC.md),
 	// lazily created on the first deadline-paced round and persisted across
@@ -108,6 +114,7 @@ func NewNebula(task *Task, cfg Config) *Nebula {
 		subs:               map[int]*modular.SubModel{},
 		imps:               map[int][][]float64{},
 		hasGatePkg:         map[int]bool{},
+		wireRefs:           map[int]*edgenet.WireRef{},
 	}
 }
 
@@ -222,7 +229,10 @@ type nebulaResult struct {
 	up     int64
 	t      float64 // slot candidate (link + train + fault time)
 	gate   bool    // selector package transferred this round
-	span   trace.Span
+	// wireRef is the device's new delta-coding reference when the round's
+	// downlink ran through the compressed wire (nil otherwise).
+	wireRef *edgenet.WireRef
+	span    trace.Span
 }
 
 // roundPrep is the serial coordinator-prep output for one round's launch set:
@@ -238,6 +248,7 @@ type roundPrep struct {
 	fetchExtra []float64
 	pushOK     []bool
 	pushExtra  []float64
+	wireRef    []*edgenet.WireRef
 	streams    []*tensor.RNG
 }
 
@@ -255,6 +266,7 @@ func (s *Nebula) prepRound(rng *tensor.RNG, part []*Client, round int) *roundPre
 		fetchExtra: make([]float64, n),
 		pushOK:     make([]bool, n),
 		pushExtra:  make([]float64, n),
+		wireRef:    make([]*edgenet.WireRef, n),
 	}
 	for i, c := range part {
 		if s.cfg.DropoutProb > 0 {
@@ -266,6 +278,7 @@ func (s *Nebula) prepRound(rng *tensor.RNG, part []*Client, round int) *roundPre
 		id := c.Dev.ID
 		p.held[i] = s.subs[id]
 		p.hadGate[i] = s.hasGatePkg[id]
+		p.wireRef[i] = s.wireRefs[id] // refs are immutable; workers read freely
 		p.fetchOK[i], p.fetchExtra[i] = s.Faults.Fetch(round, id)
 		switch {
 		case p.fetchOK[i]:
@@ -311,15 +324,25 @@ func (s *Nebula) runDevices(p *roundPrep, round int) []nebulaResult {
 			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
 			if p.held[i] != nil && overlapRatio(p.held[i].Mapping, active) >= s.RederiveOverlap {
 				// Keep the personalized sub-model; pull the cloud's current
-				// parameters for the held modules and blend them in.
+				// parameters for the held modules and blend them in. Under
+				// WireCompress the pull crosses the simulated v2 link first,
+				// so the device blends in the lossy reconstruction.
 				cloudSub := s.Model.Extract(p.held[i].Mapping)
+				if s.cfg.WireCompress {
+					bytes, r.wireRef = wireDownlink(cloudSub, p.wireRef[i], s.wireDownOpts())
+				} else {
+					bytes = cloudSub.BackboneBytes()
+				}
 				blendSubModels(p.held[i], cloudSub, s.PullBlend)
 				sub = p.held[i]
-				bytes = cloudSub.BackboneBytes()
 			} else {
 				// First contact or the local task moved: new structure.
 				sub = s.Model.Extract(active)
-				bytes = sub.BackboneBytes()
+				if s.cfg.WireCompress {
+					bytes, r.wireRef = wireDownlink(sub, p.wireRef[i], s.wireDownOpts())
+				} else {
+					bytes = sub.BackboneBytes()
+				}
 			}
 			if !p.hadGate[i] {
 				bytes += sub.SelectorBytes()
@@ -345,7 +368,20 @@ func (s *Nebula) runDevices(p *roundPrep, round int) []nebulaResult {
 				for ci, cnt := range hist {
 					cw[ci] = float64(cnt)
 				}
-				r.update = &modular.Update{Sub: sub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw}
+				upSub := sub
+				if s.cfg.WireCompress {
+					// Push crosses the simulated v2 link: delta + top-k
+					// against this round's downlink reconstruction (or the
+					// last one, when the fetch was lost). The cloud
+					// aggregates the wire's reconstruction; the device keeps
+					// its full-precision local weights.
+					ref := r.wireRef
+					if ref == nil {
+						ref = p.wireRef[i]
+					}
+					upBytes, upSub = wireUplink(s.Model, sub, ref, s.wireUpOpts())
+				}
+				r.update = &modular.Update{Sub: upSub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw}
 				t += prof.TransferTime(upBytes)
 				r.up = upBytes
 			} else {
@@ -388,6 +424,10 @@ func (s *Nebula) commitDevice(landing int, c *Client, r *nebulaResult, stale int
 	s.imps[id] = r.imp
 	if r.gate {
 		s.hasGatePkg[id] = true
+	}
+	if r.wireRef != nil {
+		s.wireRefs[id] = r.wireRef
+		m.wirePayloads.Inc()
 	}
 	if r.update == nil {
 		return nil

@@ -66,6 +66,13 @@ type RoundMetrics struct {
 
 	// Fault-model outcome mirrors (FaultStats stays authoritative).
 	faultEvents map[string]*obs.Counter
+
+	// wirePayloads counts downlinks that crossed the compressed simulated
+	// wire (cfg.WireCompress; internal/fed/wire.go). Deterministic: bumped
+	// only in commitDevice. Not mirrored by Replay — the trace carries the
+	// resulting byte charges, not the encoding that produced them; the
+	// per-encoding detail lives in the edgenet server metrics.
+	wirePayloads *obs.Counter
 }
 
 // simSlotBuckets cover simulated round/device durations: 50 ms … ~27 min.
@@ -93,6 +100,7 @@ func NewRoundMetrics(r *obs.Registry) *RoundMetrics {
 	r.Help("nebula_fed_stale_rounds_total", "Total staleness (landing minus launch rounds) across late updates.")
 	r.Help("nebula_fed_round_deadline_seconds", "Current per-round sim-time deadline (async mode; 0 = bulk-sync).")
 	r.Help("nebula_fed_churn_events_total", "Fleet membership changes, by event (async mode).")
+	r.Help("nebula_fed_wire_payloads_total", "Downlinks encoded through the simulated v2 wire codec (WireCompress).")
 	m := &RoundMetrics{
 		rounds:           r.Counter("nebula_fed_rounds_total"),
 		simSeconds:       r.Counter("nebula_fed_sim_seconds_total"),
@@ -118,6 +126,7 @@ func NewRoundMetrics(r *obs.Registry) *RoundMetrics {
 		roundDeadline:    r.Gauge("nebula_fed_round_deadline_seconds"),
 		churnEvents:      map[string]*obs.Counter{},
 		faultEvents:      map[string]*obs.Counter{},
+		wirePayloads:     r.Counter("nebula_fed_wire_payloads_total"),
 	}
 	for _, ev := range []string{
 		"fetch", "fetch_retry", "fetch_failure", "fallback", "skip",

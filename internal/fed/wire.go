@@ -1,0 +1,82 @@
+package fed
+
+import (
+	"repro/internal/edgenet"
+	"repro/internal/modular"
+)
+
+// Simulated wire-format v2 link (docs/PROTOCOL.md "Wire format v2").
+//
+// The fed round loop has no real network — it charges analytic byte counts.
+// With Config.WireCompress on, those charges come from the same pure
+// edgenet codec the live transport uses: each sub-model exchange is encoded
+// (chunk-quantized, delta against the last exchange for this device),
+// charged at its exact WireBytes(), and — crucially — the *reconstruction*
+// is what flows onward, so quantization error shows up in accuracy, not
+// just in the byte ledger.
+//
+// Delta bookkeeping follows the transport's rules: both "ends" of the
+// simulated link share one reference per device (the reconstruction of the
+// last downlink), refs are snapshotted serially in prepRound, used read-only
+// by the parallel workers, and committed back in canonical device order by
+// commitDevice — so compressed runs keep the bitwise worker-count
+// determinism contract of docs/PARALLEL.md.
+
+// wireDownOpts is the downlink codec config: dense (top-k never applies to
+// the cloud→device direction — a fresh structure has no base to be sparse
+// against, and refreshes want every module parameter).
+func (s *Nebula) wireDownOpts() edgenet.WireOpts {
+	return edgenet.WireOpts{Chunk: s.cfg.WireChunk, F16: s.cfg.WireF16}
+}
+
+// wireUpOpts is the uplink codec config: downlink opts plus the configured
+// top-k sparsification for delta pushes.
+func (s *Nebula) wireUpOpts() edgenet.WireOpts {
+	o := s.wireDownOpts()
+	o.TopK = s.cfg.WireTopK
+	return o
+}
+
+// wireDownlink simulates sending sub from cloud to device: encode (delta
+// against ref when the structure matches), charge the exact wire size, and
+// load the lossy reconstruction into sub — the device receives what the
+// wire delivered, not the cloud's float32 originals. Returns the byte
+// charge and the new shared reference. Pure; safe from parallel workers.
+func wireDownlink(sub *modular.SubModel, ref *edgenet.WireRef, opts edgenet.WireOpts) (int64, *edgenet.WireRef) {
+	vec := sub.BackboneVector()
+	var base []float32
+	if ref != nil && edgenet.MappingEqual(ref.Mapping, sub.Mapping) {
+		base = ref.Vec
+	}
+	p := edgenet.EncodeVec(vec, base, opts)
+	recon, err := edgenet.DecodeVec(p, base)
+	if err != nil {
+		// Cannot happen for a payload we just encoded; keep the exact
+		// vector rather than corrupting the device.
+		return sub.BackboneBytes(), &edgenet.WireRef{Mapping: sub.Mapping, Vec: vec}
+	}
+	sub.LoadBackboneVector(recon)
+	return p.WireBytes(), &edgenet.WireRef{Mapping: sub.Mapping, Vec: recon}
+}
+
+// wireUplink simulates pushing a trained sub-model from device to cloud:
+// encode the trained backbone (delta + top-k against the downlink
+// reference), charge the exact wire size, and return a cloud-side sub-model
+// loaded with the reconstruction — aggregation folds in what the wire
+// delivered while the device keeps its full-precision local weights.
+// model.Extract is a read-only snapshot, so this stays worker-safe.
+func wireUplink(model *modular.Model, sub *modular.SubModel, ref *edgenet.WireRef, opts edgenet.WireOpts) (int64, *modular.SubModel) {
+	vec := sub.BackboneVector()
+	var base []float32
+	if ref != nil && edgenet.MappingEqual(ref.Mapping, sub.Mapping) {
+		base = ref.Vec
+	}
+	p := edgenet.EncodeVec(vec, base, opts)
+	recon, err := edgenet.DecodeVec(p, base)
+	if err != nil {
+		return sub.BackboneBytes(), sub
+	}
+	up := model.Extract(sub.Mapping)
+	up.LoadBackboneVector(recon)
+	return p.WireBytes(), up
+}

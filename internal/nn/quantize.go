@@ -31,10 +31,15 @@ func Quantize8(vec []float32) Quantized8 {
 		}
 	}
 	scale := (hi - lo) / 255
-	if scale <= 0 {
-		scale = 1 // constant vector; all codes 0
-	}
 	q := Quantized8{Min: lo, Scale: scale, Codes: make([]byte, len(vec))}
+	if scale <= 0 {
+		// Constant vector: every element equals lo exactly. Scale 0 makes the
+		// reconstruction Min + 0·code = Min — exact — and MaxError 0. (The old
+		// sentinel Scale=1 decoded exactly too, but reported a bogus 0.5
+		// worst-case error, which poisoned error-budget decisions upstream.)
+		q.Scale = 0
+		return q
+	}
 	inv := 1 / scale
 	for i, v := range vec {
 		c := math.Round(float64((v - lo) * inv))
@@ -94,7 +99,7 @@ func QuantizeChunks(vec []float32, chunk int) []Quantized8 {
 	if chunk <= 0 {
 		chunk = 1024
 	}
-	var out []Quantized8
+	out := make([]Quantized8, 0, (len(vec)+chunk-1)/chunk)
 	for start := 0; start < len(vec); start += chunk {
 		end := start + chunk
 		if end > len(vec) {
@@ -107,9 +112,16 @@ func QuantizeChunks(vec []float32, chunk int) []Quantized8 {
 
 // DequantizeChunks reverses QuantizeChunks.
 func DequantizeChunks(chunks []Quantized8) []float32 {
-	var out []float32
+	total := 0
 	for _, q := range chunks {
-		out = append(out, q.Dequantize8()...)
+		total += len(q.Codes)
+	}
+	out := make([]float32, 0, total)
+	for _, q := range chunks {
+		m, s := q.Min, q.Scale
+		for _, c := range q.Codes {
+			out = append(out, m+s*float32(c))
+		}
 	}
 	return out
 }

@@ -50,6 +50,47 @@ func TestQuantize8ConstantAndEmpty(t *testing.T) {
 	}
 }
 
+func TestQuantize8ConstantVectorExactAndZeroError(t *testing.T) {
+	// Regression: the old encoder clamped a constant vector's scale to the
+	// sentinel 1, so MaxError reported 0.5 even though reconstruction was
+	// exact. Constant vectors must now encode with Scale 0 and report 0.
+	for _, c := range []float32{-7.25, 0, 1e-30, 42} {
+		vec := []float32{c, c, c, c, c}
+		q := Quantize8(vec)
+		if q.MaxError() != 0 {
+			t.Fatalf("constant vector %v: MaxError %v, want 0", c, q.MaxError())
+		}
+		for i, v := range q.Dequantize8() {
+			if v != c {
+				t.Fatalf("constant vector %v decoded element %d to %v", c, i, v)
+			}
+		}
+	}
+	// Near-constant: the bound must hold and stay far below the bogus 0.5.
+	vec := []float32{1, 1 + 1e-6, 1 - 1e-6, 1}
+	q := Quantize8(vec)
+	if q.MaxError() > 1e-6 {
+		t.Fatalf("near-constant MaxError %v implausibly large", q.MaxError())
+	}
+	back := q.Dequantize8()
+	for i := range vec {
+		if diff := math.Abs(float64(vec[i] - back[i])); diff > float64(q.MaxError())+1e-9 {
+			t.Fatalf("near-constant element %d error %v exceeds bound %v", i, diff, q.MaxError())
+		}
+	}
+	// Chunked round trip over a mixed constant/varying vector.
+	mixed := make([]float32, 300)
+	for i := 100; i < 200; i++ {
+		mixed[i] = float32(i%7) * 0.125
+	}
+	back = DequantizeChunks(QuantizeChunks(mixed, 100))
+	for i := 0; i < 100; i++ {
+		if back[i] != 0 || back[i+200] != 0 {
+			t.Fatal("constant chunks must reconstruct exactly")
+		}
+	}
+}
+
 func TestQuantize8MarshalRoundTrip(t *testing.T) {
 	rng := tensor.NewRNG(2)
 	vec := make([]float32, 100)
