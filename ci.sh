@@ -198,6 +198,89 @@ kill "$simpid" 2>/dev/null || true
 wait "$simpid" 2>/dev/null || true
 rm -rf "$admtmp"
 
+echo "== span tracing gate (faulty straggler run: /spans scrape byte-matches capture, parents validate, round roots == trace rounds, artifacts identical to tracing off)"
+spantmp=$(mktemp -d)
+go build -o "$spantmp/nebula-sim" ./cmd/nebula-sim
+go build -o "$spantmp/nebula-spans" ./cmd/nebula-spans
+go build -o "$spantmp/nebula-trace" ./cmd/nebula-trace
+# Traced pass: the straggler experiment over a lossy wire-v2 link with full
+# span sampling, flight recorder mounted at /spans, capture written on exit.
+"$spantmp/nebula-sim" -exp straggler -devices 6 -proxy 8 -steps 2 \
+    -pretrain-epochs 1 -finetune-epochs 1 -local-epochs 1 -seed 7 \
+    -faults drop=0.2 -wire -span-sample 1 \
+    -spans "$spantmp/spans.jsonl" -trace "$spantmp/traced.jsonl" \
+    -admin-addr 127.0.0.1:0 -admin-linger 60s \
+    >"$spantmp/traced.out" 2>"$spantmp/run.err" &
+spanpid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^admin: serving on http://||p' "$spantmp/run.err")
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "ci: span gate: admin server never reported a bound address" >&2; exit 1; }
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sf "http://$addr/statusz" | sed -n '1p')
+    case "$state" in *quiescent*) break ;; esac
+    sleep 0.2
+done
+case "$state" in
+*quiescent*) ;;
+*)
+    echo "ci: span gate: run never reached quiescence (last statusz line: $state)" >&2
+    kill "$spanpid" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+# At quiescence the recorder is final, so the live /spans scrape must
+# byte-match the capture the run wrote on exit (same snapshot, same codec).
+curl -sf "http://$addr/spans" >"$spantmp/scraped.jsonl"
+cmp "$spantmp/scraped.jsonl" "$spantmp/spans.jsonl" || {
+    echo "ci: /spans scrape differs from the -spans capture at quiescence" >&2
+    exit 1
+}
+# The round-health /statusz section rides the same recorder.
+curl -sf "http://$addr/statusz" | grep -q 'round health' || {
+    echo "ci: /statusz is missing the round health section" >&2
+    exit 1
+}
+kill "$spanpid" 2>/dev/null || true
+wait "$spanpid" 2>/dev/null || true
+# Structural validation: nebula-spans -check exits nonzero on any orphaned
+# parent, and prints traces/spans/roots/round_roots counts.
+"$spantmp/nebula-spans" -check "$spantmp/spans.jsonl" >"$spantmp/check.out" || {
+    cat "$spantmp/check.out" >&2
+    echo "ci: span capture failed structural validation (orphaned parents)" >&2
+    exit 1
+}
+# Causal completeness: every deadline-paced round must have produced exactly
+# one fed.round root span, so root count equals the adaptation trace's
+# round count — same run, two independent observers.
+roots=$(sed -n 's/.*round_roots=\([0-9][0-9]*\).*/\1/p' "$spantmp/check.out")
+rounds=$("$spantmp/nebula-trace" "$spantmp/traced.jsonl" | sed -n 's/^rounds:[[:space:]]*\([0-9][0-9]*\)$/\1/p')
+[ -n "$roots" ] && [ -n "$rounds" ] && [ "$roots" = "$rounds" ] || {
+    cat "$spantmp/check.out" >&2
+    echo "ci: span round roots ($roots) != trace rounds ($rounds)" >&2
+    exit 1
+}
+# Artifact neutrality at the CLI boundary: the identical run with tracing
+# (and the admin plane) off must produce byte-identical stdout and trace
+# JSONL — the recorder is a pure observer (docs/OBSERVABILITY.md "Tracing").
+"$spantmp/nebula-sim" -exp straggler -devices 6 -proxy 8 -steps 2 \
+    -pretrain-epochs 1 -finetune-epochs 1 -local-epochs 1 -seed 7 \
+    -faults drop=0.2 -wire \
+    -trace "$spantmp/base.jsonl" >"$spantmp/base.out" 2>/dev/null
+cmp "$spantmp/traced.out" "$spantmp/base.out" || {
+    echo "ci: experiment output differs with span tracing on vs off" >&2
+    exit 1
+}
+cmp "$spantmp/traced.jsonl" "$spantmp/base.jsonl" || {
+    echo "ci: trace JSONL differs with span tracing on vs off" >&2
+    exit 1
+}
+rm -rf "$spantmp"
+
 echo "== bench smoke (kernel benches compile and run once)"
 go test -run '^$' -bench 'BenchmarkGemm|BenchmarkDenseStep|BenchmarkConvStep' -benchtime 1x . >/dev/null
 

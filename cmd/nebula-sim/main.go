@@ -11,6 +11,7 @@
 //	nebula-sim -exp fig10 -workers 1 -trace run.jsonl
 //	nebula-sim -exp straggler -seed 7 -seed-audit
 //	nebula-sim -exp fig10 -async -staleness-decay 0.5 -trace run.jsonl
+//	nebula-sim -exp straggler -faults drop=0.2 -wire -span-sample 1 -spans spans.jsonl -admin-addr 127.0.0.1:0
 //
 // -async switches every online-stage run to deadline-paced semi-async
 // rounds (docs/ASYNC.md); the straggler experiment compares both modes on
@@ -44,6 +45,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fed"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 )
 
@@ -56,6 +58,9 @@ func main() {
 		seedAudit = flag.Bool("seed-audit", false, "run the experiment twice with the same seed and verify byte-identical output")
 		faults    = flag.String("faults", "", "inject a seeded lossy link into online-stage experiments, e.g. 'drop=0.25,delay=20ms,reset=0.05' (seed=N to replay a specific fault stream; defaults to -seed)")
 		tracePath = flag.String("trace", "", "write the online-stage adaptation log (JSON lines) to this file")
+
+		spansPath  = flag.String("spans", "", "write the distributed span capture (JSON lines, cmd/nebula-spans format) to this file; implies -span-sample 1 unless set")
+		spanSample = flag.Float64("span-sample", 0, "sample this fraction of round traces into the span flight recorder (0 = tracing off, 1 = all); the decision is a pure function of (-seed, round), so artifacts stay byte-identical at any rate")
 
 		adminAddr   = flag.String("admin-addr", "", "serve /metrics, /statusz, /healthz and /debug/pprof/ on this address (use 127.0.0.1:0 for an ephemeral port; the bound address is printed to stderr)")
 		adminLinger = flag.Duration("admin-linger", 0, "keep the admin server up this long after the run finishes so it can be scraped at quiescence")
@@ -121,6 +126,21 @@ func main() {
 		opt.Trace = trace.NewWithClock(f, nil)
 	}
 
+	// Span tracing is the same kind of pure observer as the admin plane:
+	// write-only wall-clock telemetry behind a deterministic keyed sampler,
+	// so attaching a recorder leaves every artifact byte-identical (the
+	// differential tests in internal/fed pin this).
+	rate := *spanSample
+	if *spansPath != "" && rate == 0 {
+		rate = 1
+	}
+	var spans *span.Recorder
+	if rate > 0 {
+		spans = span.NewRecorder(span.DefaultCapacity)
+		spans.SetSampler(opt.Seed, rate)
+		opt.Spans = spans
+	}
+
 	// The admin plane is pure observer: registries are write-only telemetry
 	// and the HTTP goroutines never touch simulation state, so artifacts are
 	// byte-identical with or without -admin-addr (ci.sh enforces this by
@@ -129,6 +149,10 @@ func main() {
 	if *adminAddr != "" {
 		admin = obs.NewAdmin(obs.Default())
 		admin.SetState("starting")
+		admin.AddSection("round health", fed.RoundHealthSection(spans))
+		if spans != nil {
+			admin.AddHandler("/spans", spans)
+		}
 		bound, err := admin.Listen(*adminAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nebula-sim: admin:", err)
@@ -160,6 +184,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *spansPath != "" {
+		// Like the trace log: a torn span capture silently understates the
+		// run to nebula-spans, so any write failure is a hard error.
+		if err := writeSpans(*spansPath, spans); err != nil {
+			fmt.Fprintln(os.Stderr, "nebula-sim: span capture:", err)
+			os.Exit(1)
+		}
+	}
 	if opt.Verbose {
 		fmt.Fprintf(os.Stderr, "done in %s\n", start.Elapsed().Round(time.Millisecond))
 	}
@@ -172,6 +204,19 @@ func main() {
 		}
 		_ = admin.Close()
 	}
+}
+
+// writeSpans dumps the flight recorder as JSON lines to path.
+func writeSpans(path string, rec *span.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		_ = f.Close() //nolint:errdrop -- the write error is the one to report
+		return err
+	}
+	return f.Close()
 }
 
 // runSeedAudit executes the experiment twice with identical options and

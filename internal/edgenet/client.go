@@ -12,6 +12,7 @@ import (
 	"repro/internal/modular"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // RetryPolicy controls client-side resilience: per-call deadlines plus
@@ -79,12 +80,21 @@ type EdgeClient struct {
 	// WireOpts tunes the v2 payload codec (chunk size, float16, top-k
 	// sparsification for delta pushes). Zero value: dense int8, 1024-chunk.
 	WireOpts WireOpts
+	// Spans, when set, records distributed-trace spans for every call made
+	// under a trace context (SetTraceContext). Nil or no context = tracing
+	// off; span recording is write-only and never alters protocol behavior.
+	Spans *span.Recorder
 
 	codec  *Codec
 	closer io.Closer
 	dl     connDeadliner // non-nil when the transport supports deadlines
 	rng    *rand.Rand    // jitter; lazily seeded from Policy.Seed and DeviceID
 	seq    int64         // PushUpdate round tag (see Request.Seq)
+	// Distributed-trace context for subsequent calls (SetTraceContext);
+	// stamped onto every outgoing Request so server-side phase spans join
+	// the caller's trace.
+	traceID     span.TraceID
+	traceParent span.SpanID
 	stats  RetryStats
 	proto  int      // negotiated protocol version; 0 until Hello succeeds (acts as v1)
 	ref    *WireRef // reconstruction of the last v2 sub-model fetch (delta base)
@@ -172,6 +182,30 @@ func (c *EdgeClient) Traffic() (in, out int64) {
 // RetryStats reports the client's recovery counters.
 func (c *EdgeClient) RetryStats() RetryStats { return c.stats }
 
+// SetTraceContext attaches a distributed-trace context to subsequent calls:
+// RPC spans recorded by this client become children of parent within trace t.
+// A zero trace (unsampled) turns client-side span recording off; the device
+// loop calls this once per round with the round's sampling decision.
+func (c *EdgeClient) SetTraceContext(t span.TraceID, parent span.SpanID) {
+	c.traceID, c.traceParent = t, parent
+}
+
+// ctxSpan opens a span under the client's current trace context. Returns the
+// zero Active (all methods no-ops) when tracing is off.
+func (c *EdgeClient) ctxSpan(kind string, parent span.SpanID) span.Active {
+	a := c.Spans.Start(c.traceID, parent, kind)
+	a.SetDevice(c.DeviceID)
+	return a
+}
+
+// reqSpan opens a span under the context already stamped on an outgoing
+// request (used below the per-attempt level, e.g. chunk frames).
+func (c *EdgeClient) reqSpan(req *Request, kind string) span.Active {
+	a := c.Spans.Start(span.TraceID(req.TraceID), span.SpanID(req.SpanID), kind)
+	a.SetDevice(c.DeviceID)
+	return a
+}
+
 // call runs one request with the retry policy. Every protocol request is
 // safe to retry: Hello/FetchSubModel/Stats/Shutdown are idempotent reads,
 // and PushUpdate is round-tagged so the server dedupes replays.
@@ -193,6 +227,11 @@ func (c *EdgeClient) callChunks(req *Request, out []WireChunk) (*Response, *Wire
 	if c.Policy.Deadline > 0 {
 		expire = time.Now().Add(c.Policy.Deadline) //nolint:rawclock -- whole-call deadline is genuinely wall-clock; never enters simulated costs
 	}
+	// One call span covers every attempt, backoff, and reconnect; each
+	// attempt is its own child, so a trace shows where a slow call actually
+	// spent its wall-clock: sleeping, redialing, or on the wire.
+	cs := c.ctxSpan("rpc."+kindName(req.Kind), c.traceParent)
+	defer cs.End()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -207,10 +246,15 @@ func (c *EdgeClient) callChunks(req *Request, out []WireChunk) (*Response, *Wire
 					// a backoff and burning the remaining attempts.
 					c.stats.Timeouts++
 					clientMetrics.timeouts.Inc()
-					return nil, nil, fmt.Errorf("%w after %d attempts: %v", ErrCallDeadline, attempt, lastErr)
+					err := fmt.Errorf("%w after %d attempts: %v", ErrCallDeadline, attempt, lastErr)
+					cs.SetErr(err)
+					return nil, nil, err
 				}
 			}
+			bs := c.ctxSpan("rpc.backoff", cs.ID())
+			bs.SetAttempt(attempt)
 			c.backoff(attempt, remaining)
+			bs.End()
 			if err := c.reconnect(); err != nil {
 				lastErr = err
 				continue
@@ -224,6 +268,14 @@ func (c *EdgeClient) callChunks(req *Request, out []WireChunk) (*Response, *Wire
 		// next — including re-issuing it as a supposedly fresh request.
 		r := *req
 		r.Attempt = attempt
+		// Per-attempt span: the wire context points at it, so server handler
+		// phases parent under the attempt that actually carried them. When
+		// tracing is off the attempt span is zero and the request stays
+		// untraced (TraceID 0).
+		as := c.ctxSpan("rpc.attempt", cs.ID())
+		as.SetAttempt(attempt)
+		r.TraceID = uint64(c.traceID)
+		r.SpanID = uint64(as.ID())
 		to := time.Duration(0)
 		if c.dl != nil && c.Policy.CallTimeout > 0 {
 			to = c.Policy.CallTimeout
@@ -252,6 +304,10 @@ func (c *EdgeClient) callChunks(req *Request, out []WireChunk) (*Response, *Wire
 			clientMetrics.reqBytes[req.Kind].Observe(float64(out - outBefore))
 			clientMetrics.rspBytes[req.Kind].Observe(float64(in - inBefore))
 			clientMetrics.rpcSeconds[req.Kind].ObserveSince(sw)
+			as.SetBytes(out - outBefore + in - inBefore)
+			as.SetErr(err)
+			as.End()
+			cs.SetErr(err)
 			return resp, pay, err
 		}
 		var nerr net.Error
@@ -259,8 +315,11 @@ func (c *EdgeClient) callChunks(req *Request, out []WireChunk) (*Response, *Wire
 			c.stats.Timeouts++
 			clientMetrics.timeouts.Inc()
 		}
+		as.SetErr(err)
+		as.End()
 		lastErr = err
 	}
+	cs.SetErr(lastErr)
 	return nil, nil, lastErr
 }
 
@@ -286,7 +345,11 @@ func (c *EdgeClient) exchange(req *Request, out []WireChunk, to time.Duration) (
 	}
 	for i := range out {
 		arm(false)
-		if err := c.codec.Send(&out[i]); err != nil {
+		chs := c.reqSpan(req, "rpc.chunk_send")
+		err := c.codec.Send(&out[i])
+		chs.SetErr(err)
+		chs.End()
+		if err != nil {
 			return nil, nil, fmt.Errorf("edgenet: send chunk %d/%d: %w", i+1, len(out), err)
 		}
 	}
@@ -302,7 +365,11 @@ func (c *EdgeClient) exchange(req *Request, out []WireChunk, to time.Duration) (
 		pay = &WirePayload{Header: *resp.Payload, Chunks: make([]WireChunk, resp.Payload.Chunks)}
 		for i := range pay.Chunks {
 			arm(true)
-			if err := c.codec.Recv(&pay.Chunks[i]); err != nil {
+			chs := c.reqSpan(req, "rpc.chunk_recv")
+			err := c.codec.Recv(&pay.Chunks[i])
+			chs.SetErr(err)
+			chs.End()
+			if err != nil {
 				return nil, nil, fmt.Errorf("edgenet: recv chunk %d/%d: %w", i+1, len(pay.Chunks), err)
 			}
 		}

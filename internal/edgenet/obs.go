@@ -134,3 +134,8 @@ func newClientMetrics(r *obs.Registry) *clientMetricsT {
 // Registry exposes the server's private metrics registry so binaries can
 // mount it on an obs.Admin (merged with obs.Default()).
 func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// ClientWireFallbacks reports the process-wide count of delta pushes bounced
+// with NeedFull and re-sent full — the /statusz round-health section surfaces
+// it so a fleet stuck re-sending full payloads is visible at a glance.
+func ClientWireFallbacks() int64 { return int64(clientMetrics.wireFallbacks.Value()) }

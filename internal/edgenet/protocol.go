@@ -53,6 +53,13 @@ type Request struct {
 	// indistinguishable from v1, which is the point: gob skips unknown
 	// fields, so v1 peers interoperate without ever seeing v2 framing.
 	Proto int
+	// TraceID/SpanID carry the caller's distributed-trace context
+	// (internal/obs/span) when span tracing is on; 0 means untraced. The
+	// fields are versioned exactly like Proto: gob omits zero values and
+	// skips fields the peer does not declare, so v1 peers and span-unaware
+	// v2 peers interoperate without ever seeing the context.
+	TraceID uint64
+	SpanID  uint64
 
 	// GetSubModel fields.
 	Importance [][]float64
@@ -108,6 +115,10 @@ type Response struct {
 	// longer holds; the client re-sends the same update (same Seq) as a full
 	// payload. Never set on success.
 	NeedFull bool
+	// TraceID echoes the request's distributed-trace context (0 when the
+	// request was untraced or the server predates tracing); carried with the
+	// same gob zero-value tolerance as Request.TraceID.
+	TraceID uint64
 
 	// Hello reply.
 	Selector []float32

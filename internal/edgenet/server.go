@@ -11,6 +11,7 @@ import (
 	"repro/internal/modular"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Server is the cloud side of the testbed: it owns the modularized model,
@@ -36,6 +37,10 @@ type Server struct {
 	// MaxProto caps the protocol version this server negotiates (0 =
 	// ProtoV2). Tests pin it to ProtoV1 to prove mixed-version interop.
 	MaxProto int
+	// Spans, when set, records handler phase spans (decode, dequantize,
+	// lock wait, aggregate, encode) into the trace context carried by each
+	// request. Nil = tracing off; requests with TraceID 0 record nothing.
+	Spans *span.Recorder
 
 	mu      sync.Mutex
 	pending []*modular.Update
@@ -82,6 +87,16 @@ func (s *Server) maxProto() int {
 		return s.MaxProto
 	}
 	return ProtoV2
+}
+
+// reqSpan opens a server-side span in the distributed-trace context carried
+// by req (zero Active when tracing is off or the request is untraced). The
+// parent is a span ID minted by the peer — same trace, different recorder.
+func (s *Server) reqSpan(req *Request, parent span.SpanID, kind string) span.Active {
+	a := s.Spans.Start(span.TraceID(req.TraceID), parent, kind)
+	a.SetDevice(req.DeviceID)
+	a.SetAttempt(req.Attempt)
+	return a
 }
 
 // reqProto resolves the effective protocol version of one request: what the
@@ -233,21 +248,35 @@ func (s *Server) ServeConn(rw interface {
 			return
 		}
 		sw := obs.StartTimer()
+		// The handler span parents under the client's attempt span (wire
+		// context), so one trace shows both sides of the RPC; decode and the
+		// phase spans below it are its children.
+		hs := s.reqSpan(&req, span.SpanID(req.SpanID), "srv."+kindName(req.Kind))
 		// A v2 upload streams its chunk frames right behind the envelope;
 		// they are part of this request, so they arrive before the request
 		// size is observed and before the handler runs.
+		ds := s.reqSpan(&req, hs.ID(), "srv.decode")
 		inPay, err := s.recvChunks(codec, dl, req.Payload)
+		in, _ := codec.Traffic()
+		ds.SetBytes(in - prevIn)
+		ds.SetErr(err)
+		ds.End()
 		if err != nil {
+			hs.SetErr(err)
+			hs.End()
 			s.noteConnError("recv", err)
 			return
 		}
-		in, _ := codec.Traffic()
 		s.metrics.reqBytes[req.Kind].Observe(float64(in - prevIn))
 		prevIn = in
 		if req.Attempt > 0 {
 			s.metrics.retries.Inc()
 		}
-		resp, outPay := s.handle(&req, inPay)
+		resp, outPay := s.handle(&req, inPay, hs.ID())
+		// Echo the trace so the client can confirm context propagation
+		// (interop tests); v1 peers never see the field (gob drops zeros).
+		resp.TraceID = req.TraceID
+		hs.End()
 		if dl != nil && s.WriteTimeout > 0 {
 			_ = dl.SetWriteDeadline(time.Now().Add(s.WriteTimeout)) //nolint:rawclock -- socket deadlines are genuinely wall-clock; never enters simulated costs
 		}
@@ -322,8 +351,9 @@ func (s *Server) noteConnError(op string, err error) {
 }
 
 // handle dispatches one request. A non-nil second return is a v2 chunk
-// stream ServeConn writes after the response envelope.
-func (s *Server) handle(req *Request, pay *WirePayload) (*Response, *WirePayload) {
+// stream ServeConn writes after the response envelope. ps is the handler
+// span phase spans parent under (0 when the request is untraced).
+func (s *Server) handle(req *Request, pay *WirePayload, ps span.SpanID) (*Response, *WirePayload) {
 	switch req.Kind {
 	case KindHello:
 		s.mu.Lock()
@@ -334,14 +364,14 @@ func (s *Server) handle(req *Request, pay *WirePayload) (*Response, *WirePayload
 		return &Response{OK: true, Selector: vec, Proto: proto}, nil
 
 	case KindGetSubModel:
-		resp, out, err := s.serveSubModel(req)
+		resp, out, err := s.serveSubModel(req, ps)
 		if err != nil {
 			return &Response{Error: err.Error()}, nil
 		}
 		return resp, out
 
 	case KindPushUpdate:
-		resp, err := s.acceptUpdate(req, pay)
+		resp, err := s.acceptUpdate(req, pay, ps)
 		if err != nil {
 			return &Response{Error: err.Error()}, nil
 		}
@@ -358,7 +388,7 @@ func (s *Server) handle(req *Request, pay *WirePayload) (*Response, *WirePayload
 	}
 }
 
-func (s *Server) serveSubModel(req *Request) (resp *Response, out *WirePayload, err error) {
+func (s *Server) serveSubModel(req *Request, ps span.SpanID) (resp *Response, out *WirePayload, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, out, err = nil, nil, fmt.Errorf("malformed request: %v", r)
@@ -375,17 +405,23 @@ func (s *Server) serveSubModel(req *Request) (resp *Response, out *WirePayload, 
 		active [][]int
 		sub    *modular.SubModel
 	)
+	// The derive span covers the lock wait plus the locked derivation —
+	// on a contended server it shows devices queueing on s.mu.
+	dvs := s.reqSpan(req, ps, "srv.derive")
 	func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		active = s.Model.Derive(req.Importance, req.Budget.ToBudget(), false)
 		sub = s.Model.Extract(active)
 	}()
+	dvs.End()
 	s.metrics.subModelsServed.Inc()
 	s.logf("device %d sub-model: %d modules, %d B", req.DeviceID, sub.NumModules(), sub.BackboneBytes())
 	resp = &Response{OK: true, Active: active}
+	es := s.reqSpan(req, ps, "srv.encode")
 	if s.reqProto(req) >= ProtoV2 {
 		out = s.encodeServe(req, active, sub.BackboneVector())
+		es.End()
 		resp.Payload = &out.Header
 		return resp, out, nil
 	}
@@ -394,6 +430,7 @@ func (s *Server) serveSubModel(req *Request) (resp *Response, out *WirePayload, 
 	} else {
 		resp.Backbone = sub.BackboneVector()
 	}
+	es.End()
 	return resp, nil, nil
 }
 
@@ -439,7 +476,7 @@ func (s *Server) encodeServe(req *Request, active [][]int, vec []float32) *WireP
 	return p
 }
 
-func (s *Server) acceptUpdate(req *Request, pay *WirePayload) (resp *Response, err error) {
+func (s *Server) acceptUpdate(req *Request, pay *WirePayload, ps span.SpanID) (resp *Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp, err = nil, fmt.Errorf("malformed update: %v", r)
@@ -451,7 +488,9 @@ func (s *Server) acceptUpdate(req *Request, pay *WirePayload) (resp *Response, e
 	// quantizes the response after releasing the lock).
 	vec := req.Backbone
 	if len(req.BackboneQ) > 0 {
+		dq := s.reqSpan(req, ps, "srv.dequantize")
 		vec = nn.DequantizeChunks(req.BackboneQ)
+		dq.End()
 	}
 	if pay != nil {
 		var base []float32
@@ -474,12 +513,19 @@ func (s *Server) acceptUpdate(req *Request, pay *WirePayload) (resp *Response, e
 		} else {
 			s.metrics.wireFull.Inc()
 		}
+		dq := s.reqSpan(req, ps, "srv.dequantize")
 		vec, err = DecodeVec(pay, base)
+		dq.SetErr(err)
+		dq.End()
 		if err != nil {
 			return nil, err
 		}
 	}
+	// The lock-wait span isolates time queued on s.mu from time doing
+	// aggregation work under it — the distinction histograms cannot make.
+	lw := s.reqSpan(req, ps, "srv.lock_wait")
 	s.mu.Lock()
+	lw.End()
 	defer s.mu.Unlock()
 	// At-most-once application: a retried PushUpdate carries the Seq of the
 	// original. If that Seq was already applied, the first attempt succeeded
@@ -512,7 +558,9 @@ func (s *Server) acceptUpdate(req *Request, pay *WirePayload) (resp *Response, e
 	s.pending = append(s.pending, &modular.Update{Sub: sub, Importance: req.Importance, Weight: req.Weight})
 	s.metrics.updatesReceived.Inc()
 	if len(s.pending) >= s.AggregateEvery {
+		ag := s.reqSpan(req, ps, "srv.aggregate")
 		s.Model.AggregateModuleWise(s.pending)
+		ag.End()
 		s.pending = nil
 		s.metrics.aggregations.Inc()
 		s.logf("aggregated round %d", int64(s.metrics.aggregations.Value()))

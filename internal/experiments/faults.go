@@ -55,6 +55,7 @@ func RunFaults(opt Options) *FaultsResult {
 		nb := fed.NewNebula(task, fcfg)
 		nb.TrainCfg.Epochs = opt.PretrainEpochs
 		nb.Trace = opt.Trace
+		nb.Spans = opt.Spans
 		nb.Faults = fm
 		nb.Pretrain(tensor.NewRNG(opt.Seed+60), proxy)
 		fleetRNG := tensor.NewRNG(opt.Seed + 50)

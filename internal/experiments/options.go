@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/edgenet"
 	"repro/internal/fed"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 )
 
@@ -73,6 +74,12 @@ type Options struct {
 	// Trace optionally receives the structured JSONL adaptation log of the
 	// online-stage Nebula runs (nebula-sim -trace). Nil disables tracing.
 	Trace *trace.Logger
+
+	// Spans optionally attaches a distributed-span flight recorder to the
+	// online-stage Nebula runs (nebula-sim -span-sample; docs/OBSERVABILITY.md
+	// "Tracing"). Spans are write-only wall-clock telemetry: artifacts are
+	// byte-identical with or without a recorder. Nil disables span tracing.
+	Spans *span.Recorder
 
 	// Verbose prints progress lines during long runs.
 	Verbose bool

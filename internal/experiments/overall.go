@@ -71,6 +71,7 @@ func runRow(opt Options, row Row) (accs map[string]float64, costs map[string]fed
 	for _, sys := range systemsFor(row.Task, cfg) {
 		if nb, ok := sys.(*fed.Nebula); ok {
 			nb.Trace = opt.Trace
+			nb.Spans = opt.Spans
 		}
 		srng := tensor.NewRNG(opt.Seed + 77) // same stream for fairness
 		sys.Pretrain(srng, proxy)

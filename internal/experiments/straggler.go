@@ -70,7 +70,9 @@ func RunStraggler(opt Options) *StragglerResult {
 		if async {
 			// Only the async run logs, so one -trace file holds one coherent
 			// semi-async log (the mode the differential gates exercise).
+			// The span recorder rides the same run for the same reason.
 			nb.Trace = opt.Trace
+			nb.Spans = opt.Spans
 		}
 		nb.Pretrain(tensor.NewRNG(opt.Seed+60), proxy)
 		// A bigger pool than the other runners: churn needs headroom, and the

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/modular"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/tensor"
 )
 
@@ -57,8 +58,16 @@ func (s *Nebula) asyncRound(rng *tensor.RNG, clients []*Client) {
 	s.Trace.RoundStartAt(round, a.deadline)
 	m.currentRound.Set(float64(round))
 	m.roundDeadline.Set(a.deadline)
+	wall := obs.StartTimer()
+	defer func() { m.noteRoundWall(wall.Seconds()) }()
+	// Root span for the deadline-paced round; churn, pend, and land events
+	// record as marker children so a trace shows the async control flow.
+	tid, _ := s.Spans.Trace(int64(round))
+	rs := s.Spans.Start(tid, 0, "fed.round")
+	rs.SetRound(round)
+	defer rs.End()
 
-	s.applyChurn(round, clients)
+	s.applyChurn(round, clients, tid, rs.ID())
 
 	// Sample only idle devices: a straggler still working on carried rounds
 	// cannot be asked for new work. Eligibility is a pure function of the
@@ -74,6 +83,7 @@ func (s *Nebula) asyncRound(rng *tensor.RNG, clients []*Client) {
 
 	swPrep := obs.StartTimer()
 	p := s.prepRound(rng, part, round)
+	p.trace, p.root = tid, rs.ID()
 	m.phasePrep.ObserveSince(swPrep)
 
 	swParallel := obs.StartTimer()
@@ -148,6 +158,11 @@ func (s *Nebula) asyncRound(rng *tensor.RNG, clients []*Client) {
 		pw := &asyncPending{c: part[i], launch: round, done: done}
 		pw.res = *r
 		a.pending = append(a.pending, pw)
+		// Marker span: this device's work overran the deadline and pends.
+		pe := s.Spans.Start(tid, rs.ID(), "fed.pend")
+		pe.SetDevice(part[i].Dev.ID)
+		pe.SetRound(round)
+		pe.End()
 	}
 	// Arrival order is the seeded sim clock: stable-sort by completion time,
 	// with the (launch round, canonical index) insertion order breaking ties.
@@ -156,6 +171,14 @@ func (s *Nebula) asyncRound(rng *tensor.RNG, clients []*Client) {
 	var updates []*modular.Update
 	live := 0
 	for _, ld := range landings {
+		if stale := round - ld.launch; stale > 0 {
+			// Marker span: a carried straggler update lands this round.
+			le := s.Spans.Start(tid, rs.ID(), "fed.land")
+			le.SetDevice(ld.c.Dev.ID)
+			le.SetRound(round)
+			le.SetAttempt(stale)
+			le.End()
+		}
 		if u := s.commitDevice(round, ld.c, ld.res, round-ld.launch); u != nil {
 			updates = append(updates, u)
 		}
@@ -175,8 +198,9 @@ func (s *Nebula) asyncRound(rng *tensor.RNG, clients []*Client) {
 // derived sub-model — a pure download — before their first round. The first
 // async round only captures the baseline. All iteration is over slices in
 // deterministic order (sorted previous IDs, canonical clients order); maps
-// are membership tests only.
-func (s *Nebula) applyChurn(round int, clients []*Client) {
+// are membership tests only. tid/parent are the round's trace context; each
+// membership change records a marker span under the round root.
+func (s *Nebula) applyChurn(round int, clients []*Client, tid span.TraceID, parent span.SpanID) {
 	a := s.async
 	cur := make(map[int]bool, len(clients))
 	for _, c := range clients {
@@ -197,6 +221,11 @@ func (s *Nebula) applyChurn(round int, clients []*Client) {
 		delete(a.busy, id)
 		s.Trace.Churn(round, id, "leave", 0)
 		m.churnEvents["leave"].Inc()
+		ce := s.Spans.Start(tid, parent, "fed.churn")
+		ce.SetDevice(id)
+		ce.SetRound(round)
+		ce.SetNote("leave")
+		ce.End()
 	}
 	if len(left) > 0 {
 		kept := a.pending[:0]
@@ -214,6 +243,11 @@ func (s *Nebula) applyChurn(round int, clients []*Client) {
 			m.churnEvents["drop_pending"].Inc()
 			s.costs.BytesDown += pw.res.down
 			m.bytesDown.Add(float64(pw.res.down))
+			ce := s.Spans.Start(tid, parent, "fed.churn")
+			ce.SetDevice(id)
+			ce.SetRound(round)
+			ce.SetNote("drop_pending")
+			ce.End()
 		}
 		a.pending = kept
 	}
@@ -243,6 +277,11 @@ func (s *Nebula) applyChurn(round int, clients []*Client) {
 		}
 		s.Trace.Churn(round, id, "join", down)
 		m.churnEvents["join"].Inc()
+		ce := s.Spans.Start(tid, parent, "fed.churn")
+		ce.SetDevice(id)
+		ce.SetRound(round)
+		ce.SetNote("join")
+		ce.End()
 	}
 	a.prev = presentIDs(clients)
 }

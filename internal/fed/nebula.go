@@ -8,6 +8,7 @@ import (
 	"repro/internal/modular"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -61,6 +62,13 @@ type Nebula struct {
 
 	// Trace optionally receives structured per-round events (nil = off).
 	Trace *trace.Logger
+
+	// Spans optionally records wall-clock causal spans (docs/OBSERVABILITY.md
+	// "Tracing"): each sampled round is a root span with per-device children.
+	// Whether a round is sampled is a deterministic keyed hash of the round
+	// number — never an RNG draw — and spans are write-only, so artifacts
+	// stay byte-identical with tracing on or off. Nil = tracing off.
+	Spans *span.Recorder
 
 	// Metrics optionally binds this strategy to a private obs registry
 	// (tests, replay tooling). Nil uses the package default on
@@ -250,6 +258,12 @@ type roundPrep struct {
 	pushExtra  []float64
 	wireRef    []*edgenet.WireRef
 	streams    []*tensor.RNG
+	// Distributed-trace context for this round's launch set: the sampled
+	// trace (0 = round unsampled) and the round root span workers parent
+	// their device spans under. Decided serially in the coordinator, read
+	// freely by workers.
+	trace span.TraceID
+	root  span.SpanID
 }
 
 // prepRound runs the serial coordinator-prep phase over the sampled devices.
@@ -310,15 +324,25 @@ func (s *Nebula) runDevices(p *roundPrep, round int) []nebulaResult {
 		c := p.part[i]
 		id := c.Dev.ID
 		r := &res[i]
+		// Per-device wall-clock span under the round root. Recording is
+		// write-only and the trace/parent came from the serial prep, so the
+		// parallel fan-out stays artifact-deterministic.
+		dspan := s.Spans.Start(p.trace, p.root, "fed.device")
+		dspan.SetDevice(id)
+		dspan.SetRound(round)
+		defer dspan.End()
 		if !p.fetchOK[i] && p.held[i] == nil {
 			// No cache to fall back on: sit the round out. The wasted link
 			// time still bounds the slot (the device was trying).
 			r.span.Notef("round %d device %d: fetch lost, no cached sub-model, skipping round", round, id)
+			dspan.SetNote("fetch_lost_skip")
 			r.t = p.fetchExtra[i]
 			return
 		}
 		var sub *modular.SubModel
 		var bytes int64
+		fspan := s.Spans.Start(p.trace, dspan.ID(), "fed.fetch")
+		fspan.SetDevice(id)
 		imp := s.importanceWith(s.Model.Selector.Clone(), c)
 		if p.fetchOK[i] {
 			active := s.Model.Derive(imp, s.deviceBudget(c), s.ExactDerive)
@@ -352,17 +376,25 @@ func (s *Nebula) runDevices(p *roundPrep, round int) []nebulaResult {
 			// Download lost after retries: degrade to the cached sub-model —
 			// train it on fresh local data without this round's cloud pull.
 			r.span.Notef("round %d device %d: fetch lost, serving cached sub-model", round, id)
+			fspan.SetNote("fetch_lost_cached")
 			sub = p.held[i]
 		}
+		fspan.SetBytes(bytes)
+		fspan.End()
 		prof := c.Mon.Profile()
 		t := prof.TransferTime(bytes) + p.fetchExtra[i]
 		if s.LocalTraining {
+			tspan := s.Spans.Start(p.trace, dspan.ID(), "fed.train")
+			tspan.SetDevice(id)
 			TrainSubModel(p.streams[i], sub, c.Dev.Train, s.cfg.LocalEpochs, s.cfg.LR, s.cfg.BatchSize)
+			tspan.End()
 			upBytes := int64(nn.ParamCount(sub.Params())) * 4 // modules+stem+head; selector is not updated on edge
 			_, fwd, _ := s.Model.SelectionCost(sub.Mapping)
 			t += trainTime(prof, fwd, c.Dev.Train.Len(), s.cfg.LocalEpochs, s.cfg.BatchSize)
 			t += p.pushExtra[i]
 			if p.pushOK[i] {
+				pspan := s.Spans.Start(p.trace, dspan.ID(), "fed.push")
+				pspan.SetDevice(id)
 				hist := c.Dev.Train.ClassHistogram()
 				cw := make([]float64, len(hist))
 				for ci, cnt := range hist {
@@ -384,6 +416,8 @@ func (s *Nebula) runDevices(p *roundPrep, round int) []nebulaResult {
 				r.update = &modular.Update{Sub: upSub, Importance: imp, Weight: float64(c.Dev.Train.Len()), ClassWeights: cw}
 				t += prof.TransferTime(upBytes)
 				r.up = upBytes
+				pspan.SetBytes(upBytes)
+				pspan.End()
 			} else {
 				// Upload lost after retries: the local training still
 				// happened (and improved the cached sub-model), but this
@@ -474,9 +508,18 @@ func (s *Nebula) round(rng *tensor.RNG, clients []*Client) {
 	s.Trace.RoundStart(round)
 	m := s.metrics()
 	m.currentRound.Set(float64(round))
+	wall := obs.StartTimer()
+	defer func() { m.noteRoundWall(wall.Seconds()) }()
+	// Root span for the round; the sampling decision is keyed on the round
+	// number, so every worker count and replay traces the same rounds.
+	tid, _ := s.Spans.Trace(int64(round))
+	rs := s.Spans.Start(tid, 0, "fed.round")
+	rs.SetRound(round)
+	defer rs.End()
 
 	swPrep := obs.StartTimer()
 	p := s.prepRound(rng, part, round)
+	p.trace, p.root = tid, rs.ID()
 	m.phasePrep.ObserveSince(swPrep)
 
 	swParallel := obs.StartTimer()

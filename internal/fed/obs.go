@@ -1,7 +1,13 @@
 package fed
 
 import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/edgenet"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 )
 
@@ -73,6 +79,65 @@ type RoundMetrics struct {
 	// resulting byte charges, not the encoding that produced them; the
 	// per-encoding detail lives in the edgenet server metrics.
 	wirePayloads *obs.Counter
+
+	// Last-N wall-clock round latencies for the /statusz round-health
+	// section (write-only operational telemetry, like the phase timings).
+	wallMu    sync.Mutex
+	wallRing  [roundWallN]float64
+	wallNext  int
+	wallCount int
+}
+
+// roundWallN is how many recent round wall latencies /statusz shows.
+const roundWallN = 8
+
+// noteRoundWall records one round's wall-clock latency into the last-N ring.
+func (m *RoundMetrics) noteRoundWall(sec float64) {
+	m.wallMu.Lock()
+	m.wallRing[m.wallNext] = sec
+	m.wallNext = (m.wallNext + 1) % roundWallN
+	if m.wallCount < roundWallN {
+		m.wallCount++
+	}
+	m.wallMu.Unlock()
+}
+
+// lastRoundWalls returns the recorded latencies, oldest first.
+func (m *RoundMetrics) lastRoundWalls() []float64 {
+	m.wallMu.Lock()
+	defer m.wallMu.Unlock()
+	out := make([]float64, 0, m.wallCount)
+	start := 0
+	if m.wallCount == roundWallN {
+		start = m.wallNext
+	}
+	for i := 0; i < m.wallCount; i++ {
+		out = append(out, m.wallRing[(start+i)%roundWallN])
+	}
+	return out
+}
+
+// RoundHealthSection renders the /statusz round-health digest: the last-N
+// round wall latencies, the late-update and wire-fallback counts, and the
+// span flight recorder's occupancy and drop count (rec may be nil). One
+// glance answers "is the fleet stalled" without scraping /metrics.
+func RoundHealthSection(rec *span.Recorder) func(io.Writer) {
+	m := fedMetrics
+	return func(w io.Writer) {
+		walls := m.lastRoundWalls()
+		fmt.Fprintf(w, "last %d round wall latencies:", len(walls))
+		if len(walls) == 0 {
+			fmt.Fprintf(w, " (no rounds yet)")
+		}
+		for _, s := range walls {
+			fmt.Fprintf(w, " %.3fs", s)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "late updates: %d (total staleness %d rounds)\n",
+			int64(m.lateUpdates.Value()), int64(m.staleRounds.Value()))
+		fmt.Fprintf(w, "wire fallbacks (client NeedFull resends): %d\n", edgenet.ClientWireFallbacks())
+		fmt.Fprintf(w, "span flight recorder: %d spans held, %d evicted\n", rec.Len(), rec.Dropped())
+	}
 }
 
 // simSlotBuckets cover simulated round/device durations: 50 ms … ~27 min.

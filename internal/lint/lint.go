@@ -119,6 +119,7 @@ func All() []Analyzer {
 		LockedCall{},
 		ArtifactOrder{},
 		FastMath{},
+		SpanLeak{},
 	}
 }
 

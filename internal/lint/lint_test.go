@@ -50,6 +50,7 @@ func TestFixtures(t *testing.T) {
 		"artifactorder.go": {"artifactorder"},
 		"fastmath.go":      {"fastmath"},
 		"rawclock.go":      {"rawclock", "rawclock"},
+		"spanleak.go":      {"spanleak", "spanleak"},
 		"clean.go":      nil,
 		"suppressed.go": nil,
 		"nolintbare.go": {"nolint"},

@@ -29,6 +29,13 @@ type Admin struct {
 
 	mu       sync.Mutex
 	sections []statusSection
+	extra    map[string]http.Handler
+
+	// scrapeErrs counts responses that failed mid-write (client gone,
+	// connection reset). A scrape that dies half-delivered used to vanish
+	// without a trace — the handlers dropped every write error — so a
+	// monitoring outage looked identical to healthy silence.
+	scrapeErrs atomic.Int64
 
 	state   atomic.Value // string: "starting" → "running" → "quiescent"
 	started Stopwatch
@@ -75,6 +82,20 @@ func (a *Admin) AddSection(title string, fn func(io.Writer)) {
 	a.sections = append(a.sections, statusSection{title: title, fn: fn})
 }
 
+// AddHandler mounts an extra read-only endpoint (e.g. the span flight
+// recorder's /spans). Call before Listen; the mux is built once at bind time.
+func (a *Admin) AddHandler(path string, h http.Handler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.extra == nil {
+		a.extra = map[string]http.Handler{}
+	}
+	a.extra[path] = h
+}
+
+// ScrapeErrors reports how many HTTP responses failed mid-write.
+func (a *Admin) ScrapeErrors() int64 { return a.scrapeErrs.Load() }
+
 // Listen binds addr (e.g. "127.0.0.1:0") and serves in the background,
 // returning the bound address. Close shuts the listener down and waits for
 // the serve loop.
@@ -113,36 +134,91 @@ func (a *Admin) snapshot() []Family {
 	return MergeSnapshots(snaps...)
 }
 
+// stickyWriter forwards writes until the first error, then swallows the
+// rest. It keeps the error readable so a handler can count one failed
+// scrape instead of silently dropping every subsequent write error — the
+// same errdrop class the edgenet sweep fixed on the wire path.
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	n, err := s.w.Write(p)
+	if err != nil {
+		s.err = err
+	}
+	return n, err
+}
+
+// serveText runs one read-only handler body through a stickyWriter. A
+// response write failure cannot be salvaged — the header is already out —
+// but it must not vanish either: the failed scrape is counted, and the
+// count is visible on /statusz.
+func (a *Admin) serveText(w http.ResponseWriter, contentType string, body func(io.Writer) error) {
+	w.Header().Set("Content-Type", contentType)
+	sw := &stickyWriter{w: w}
+	err := body(sw)
+	if err == nil {
+		err = sw.err
+	}
+	if err != nil {
+		a.scrapeErrs.Add(1)
+	}
+}
+
 func (a *Admin) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		a.serveText(w, "text/plain; charset=utf-8", func(out io.Writer) error {
+			_, err := fmt.Fprintln(out, "ok")
+			return err
+		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WritePrometheus(w, a.snapshot())
+		a.serveText(w, "text/plain; version=0.0.4; charset=utf-8", func(out io.Writer) error {
+			return WritePrometheus(out, a.snapshot())
+		})
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = WriteJSON(w, a.snapshot())
+		a.serveText(w, "application/json; charset=utf-8", func(out io.Writer) error {
+			return WriteJSON(out, a.snapshot())
+		})
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		a.writeStatus(w)
+		a.serveText(w, "text/plain; charset=utf-8", func(out io.Writer) error {
+			a.writeStatus(out)
+			return nil // write failures surface via the stickyWriter
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.mu.Lock()
+	paths := make([]string, 0, len(a.extra))
+	//nolint:maporder -- keys are collected for sorting right below
+	for p := range a.extra {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		mux.Handle(p, a.extra[p])
+	}
+	a.mu.Unlock()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "nebula admin endpoints: /healthz /metrics /metrics.json /statusz /debug/pprof/")
+		a.serveText(w, "text/plain; charset=utf-8", func(out io.Writer) error {
+			_, err := fmt.Fprintln(out, "nebula admin endpoints: /healthz /metrics /metrics.json /statusz /debug/pprof/")
+			return err
+		})
 	})
 	return mux
 }
@@ -153,6 +229,9 @@ func (a *Admin) handler() http.Handler {
 func (a *Admin) writeStatus(w io.Writer) {
 	fmt.Fprintf(w, "state:  %s\n", a.State())
 	fmt.Fprintf(w, "uptime: %s\n", a.started.Elapsed().Round(time.Millisecond))
+	if n := a.scrapeErrs.Load(); n > 0 {
+		fmt.Fprintf(w, "scrape errors: %d\n", n)
+	}
 	for _, f := range a.snapshot() {
 		fmt.Fprintf(w, "\n%s (%s)", f.Name, f.Type)
 		if f.Help != "" {

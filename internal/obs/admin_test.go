@@ -123,6 +123,115 @@ func TestAdminCloseIsIdempotentAndNilSafe(t *testing.T) {
 	}
 }
 
+// brokenWriter fails after limit bytes — a client that disconnected
+// mid-scrape, as seen from the handler.
+type brokenWriter struct {
+	n, limit int
+}
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	if b.n+len(p) > b.limit {
+		return 0, fmt.Errorf("connection reset by peer")
+	}
+	b.n += len(p)
+	return len(p), nil
+}
+
+func TestStickyWriterStopsAtFirstError(t *testing.T) {
+	sw := &stickyWriter{w: &brokenWriter{limit: 4}}
+	if _, err := sw.Write([]byte("ok\n")); err != nil {
+		t.Fatalf("write under limit failed: %v", err)
+	}
+	if _, err := sw.Write([]byte("too long")); err == nil {
+		t.Fatal("write over limit must surface the error")
+	}
+	if _, err := sw.Write([]byte("x")); err == nil {
+		t.Fatal("writes after a failure must keep failing (sticky)")
+	}
+	if sw.err == nil {
+		t.Fatal("sticky error must remain readable")
+	}
+}
+
+// TestAdminCountsFailedScrapes is the errdrop regression: a response write
+// failure used to disappear — every handler dropped its write error — so a
+// dead monitoring pipe was indistinguishable from a healthy one. Now each
+// failed scrape increments ScrapeErrors and shows up on /statusz.
+func TestAdminCountsFailedScrapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nebula_x_total").Inc()
+	a := NewAdmin(r)
+	if got := a.ScrapeErrors(); got != 0 {
+		t.Fatalf("fresh admin reports %d scrape errors", got)
+	}
+
+	// Drive the handler bodies directly through serveText with a writer that
+	// dies mid-response; each failure must be counted exactly once.
+	a.serveText(failingResponseWriter{}, "text/plain", func(out io.Writer) error {
+		_, err := fmt.Fprintln(out, "ok")
+		return err
+	})
+	if got := a.ScrapeErrors(); got != 1 {
+		t.Fatalf("ScrapeErrors = %d after one failed scrape, want 1", got)
+	}
+	a.serveText(failingResponseWriter{}, "text/plain", func(out io.Writer) error {
+		return WritePrometheus(out, a.snapshot())
+	})
+	a.serveText(failingResponseWriter{}, "text/plain", func(out io.Writer) error {
+		a.writeStatus(out)
+		return nil
+	})
+	if got := a.ScrapeErrors(); got != 3 {
+		t.Fatalf("ScrapeErrors = %d after three failed scrapes, want 3", got)
+	}
+
+	// A healthy scrape does not bump the counter, and /statusz surfaces the
+	// accumulated failures.
+	var ok strings.Builder
+	a.serveText(passthroughResponseWriter{&ok}, "text/plain", func(out io.Writer) error {
+		a.writeStatus(out)
+		return nil
+	})
+	if got := a.ScrapeErrors(); got != 3 {
+		t.Fatalf("ScrapeErrors = %d after a healthy scrape, want still 3", got)
+	}
+	if !strings.Contains(ok.String(), "scrape errors: 3") {
+		t.Fatalf("/statusz does not surface the scrape-error count:\n%s", ok.String())
+	}
+}
+
+// failingResponseWriter implements http.ResponseWriter with writes that
+// always fail.
+type failingResponseWriter struct{}
+
+func (failingResponseWriter) Header() http.Header       { return http.Header{} }
+func (failingResponseWriter) WriteHeader(int)           {}
+func (failingResponseWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("broken pipe") }
+
+// passthroughResponseWriter adapts a strings.Builder to http.ResponseWriter.
+type passthroughResponseWriter struct{ b *strings.Builder }
+
+func (p passthroughResponseWriter) Header() http.Header { return http.Header{} }
+func (p passthroughResponseWriter) WriteHeader(int)     {}
+func (p passthroughResponseWriter) Write(b []byte) (int, error) {
+	return p.b.Write(b)
+}
+
+func TestAdminAddHandlerMounts(t *testing.T) {
+	a := NewAdmin(NewRegistry())
+	a.AddHandler("/spans", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("span data\n"))
+	}))
+	addr, err := a.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if code, body := adminGet(t, addr, "/spans"); code != 200 || body != "span data\n" {
+		t.Fatalf("/spans = %d %q", code, body)
+	}
+}
+
 func TestHumanize(t *testing.T) {
 	cases := []struct {
 		name string

@@ -1,0 +1,196 @@
+package span
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func TestSamplerDeterministicAndKeyed(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetSampler(7, 1)
+	id1, ok1 := r.Trace(3)
+	id2, ok2 := r.Trace(3)
+	if !ok1 || !ok2 || id1 != id2 || id1 == 0 {
+		t.Fatalf("same key must sample identically: (%d,%v) vs (%d,%v)", id1, ok1, id2, ok2)
+	}
+	if other, _ := r.Trace(4); other == id1 {
+		t.Fatal("different keys should yield different trace IDs")
+	}
+	r2 := NewRecorder(8)
+	r2.SetSampler(7, 1)
+	if id, _ := r2.Trace(3); id != id1 {
+		t.Fatal("trace IDs must be a pure function of (seed, key), not recorder identity")
+	}
+}
+
+func TestSamplerRateEndpoints(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetSampler(1, 0)
+	for k := int64(0); k < 100; k++ {
+		if _, ok := r.Trace(k); ok {
+			t.Fatalf("rate 0 sampled key %d", k)
+		}
+	}
+	r.SetSampler(1, 1)
+	for k := int64(0); k < 100; k++ {
+		if _, ok := r.Trace(k); !ok {
+			t.Fatalf("rate 1 rejected key %d", k)
+		}
+	}
+	// A fractional rate accepts roughly that fraction (the hash is uniform).
+	r.SetSampler(5, 0.5)
+	hits := 0
+	for k := int64(0); k < 1000; k++ {
+		if _, ok := r.Trace(k); ok {
+			hits++
+		}
+	}
+	if hits < 400 || hits > 600 {
+		t.Fatalf("rate 0.5 sampled %d/1000 keys", hits)
+	}
+}
+
+func TestNilRecorderIsOff(t *testing.T) {
+	var r *Recorder
+	if id, ok := r.Trace(1); ok || id != 0 {
+		t.Fatal("nil recorder must not sample")
+	}
+	a := r.Start(1, 0, "x")
+	a.SetDevice(3)
+	a.SetErr(errors.New("boom"))
+	a.End()
+	a.End() // double End is a no-op
+	if r.Len() != 0 || r.Dropped() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil recorder must stay empty")
+	}
+}
+
+func TestFlightRecorderEvictsOldest(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetSampler(1, 1)
+	tid, _ := r.Trace(1)
+	for i := 0; i < 6; i++ {
+		a := r.Start(tid, 0, "op")
+		a.SetDevice(i)
+		a.End()
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot holds %d spans, want 4", len(snap))
+	}
+	for i, s := range snap {
+		if s.Device != i+2 {
+			t.Fatalf("snapshot[%d].Device = %d, want %d (oldest-first, oldest two evicted)", i, s.Device, i+2)
+		}
+	}
+}
+
+func TestStartRejectPathIsAllocFree(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.SetSampler(1, 0) // sampler closed: every Trace rejects
+	if allocs := testing.AllocsPerRun(200, func() {
+		tid, _ := rec.Trace(9)
+		a := rec.Start(tid, 0, "rpc.call")
+		a.SetDevice(4)
+		a.SetBytes(128)
+		a.End()
+	}); allocs != 0 {
+		t.Fatalf("sampling-reject hot path allocates (%v allocs/op), want 0", allocs)
+	}
+	var nilRec *Recorder
+	if allocs := testing.AllocsPerRun(200, func() {
+		a := nilRec.Start(1, 0, "rpc.call")
+		a.End()
+	}); allocs != 0 {
+		t.Fatalf("nil-recorder hot path allocates (%v allocs/op), want 0", allocs)
+	}
+}
+
+func TestRecordPathIsAllocFree(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.SetSampler(1, 1)
+	tid, _ := rec.Trace(2)
+	if allocs := testing.AllocsPerRun(200, func() {
+		a := rec.Start(tid, 0, "rpc.call")
+		a.SetRound(3)
+		a.End()
+	}); allocs != 0 {
+		t.Fatalf("sampled record path allocates (%v allocs/op), want 0 (ring slots are preallocated)", allocs)
+	}
+}
+
+func TestJSONRoundTripAndHTTP(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetSampler(3, 1)
+	tid, _ := r.Trace(1)
+	root := r.Start(tid, 0, "fed.round")
+	root.SetRound(1)
+	child := r.Start(tid, root.ID(), "fed.device")
+	child.SetDevice(5)
+	child.SetErr(errors.New("push lost"))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r.Snapshot()) {
+		t.Fatalf("JSONL round trip diverged:\n got %+v\nwant %+v", got, r.Snapshot())
+	}
+	if err := ValidateParents(got); err != nil {
+		t.Fatalf("well-formed trace failed validation: %v", err)
+	}
+
+	rr := httptest.NewRecorder()
+	r.ServeHTTP(rr, httptest.NewRequest("GET", "/spans", nil))
+	scraped, err := ReadJSON(rr.Body)
+	if err != nil {
+		t.Fatalf("/spans scrape did not parse: %v", err)
+	}
+	if len(scraped) != 2 {
+		t.Fatalf("/spans served %d spans, want 2", len(scraped))
+	}
+}
+
+func TestValidateParentsCatchesOrphans(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 1, Kind: "root"},
+		{Trace: 1, ID: 2, Parent: 1, Kind: "child"},
+		{Trace: 1, ID: 3, Parent: 99, Kind: "orphan"},
+	}
+	if err := ValidateParents(spans); err == nil {
+		t.Fatal("orphaned parent reference must fail validation")
+	}
+	if err := ValidateParents(spans[:2]); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	// Same span ID under a different trace must not satisfy the parent link.
+	cross := []Span{
+		{Trace: 1, ID: 7, Kind: "root"},
+		{Trace: 2, ID: 8, Parent: 7, Kind: "child"},
+	}
+	if err := ValidateParents(cross); err == nil {
+		t.Fatal("parent in a different trace must not count")
+	}
+}
+
+func TestSpanEndOffset(t *testing.T) {
+	s := Span{Start: 1.5, Dur: 0.25}
+	if s.End() != 1.75 {
+		t.Fatalf("End = %v, want 1.75", s.End())
+	}
+}
